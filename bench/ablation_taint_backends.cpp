@@ -1,0 +1,138 @@
+// Ablation 5: privacy backends — static (MiniFlowDroid, the paper's choice)
+// vs. dynamic (TaintDroid/Uranine-style VM taint, implemented as an
+// alternative backend).
+//
+// The paper chose to intercept binaries and run CHEAP STATIC analysis on
+// them (§VI: dynamic reconstruction "introduce[s] heavy latency"). This
+// bench quantifies the recall trade-off over payloads with (a) always
+// executed flows, (b) conditionally executed flows (gated on connectivity),
+// and (c) reflection-hidden flows.
+#include <cstdio>
+
+#include "core/dynamic_taint.hpp"
+#include "dex/builder.hpp"
+#include "monkey/monkey.hpp"
+#include "privacy/flowdroid.hpp"
+
+using namespace dydroid;
+
+namespace {
+
+enum class FlowShape { Direct, Gated, Reflective };
+
+/// A payload with one IMEI->Log flow of the given shape.
+dex::DexFile payload(FlowShape shape, int index) {
+  dex::DexBuilder b;
+  const auto cls_name = "sdk.tracker.Agent" + std::to_string(index);
+  switch (shape) {
+    case FlowShape::Direct: {
+      auto m = b.cls(cls_name).method("run", 1);
+      m.invoke_static("android.telephony.TelephonyManager", "getDeviceId");
+      m.move_result(1);
+      m.invoke_static("android.util.Log", "d", {1, 1});
+      m.done();
+      break;
+    }
+    case FlowShape::Gated: {
+      // Leak only without connectivity (won't execute on the default
+      // connected device).
+      auto m = b.cls(cls_name).method("run", 1);
+      m.invoke_static("android.net.ConnectivityManager", "isConnected");
+      m.move_result(1);
+      m.if_nez(1, "skip");
+      m.invoke_static("android.telephony.TelephonyManager", "getDeviceId");
+      m.move_result(2);
+      m.invoke_static("android.util.Log", "d", {2, 2});
+      m.label("skip");
+      m.return_void();
+      m.done();
+      break;
+    }
+    case FlowShape::Reflective: {
+      auto out = b.cls(cls_name + "Out").static_method("ship", 1);
+      out.invoke_static("android.util.Log", "d", {0, 0});
+      out.done();
+      auto m = b.cls(cls_name).method("run", 1);
+      m.invoke_static("android.telephony.TelephonyManager", "getDeviceId");
+      m.move_result(1);
+      m.const_str(2, cls_name + "Out");
+      m.invoke_static("java.lang.Class", "forName", {2});
+      m.move_result(3);
+      m.const_str(4, "ship");
+      m.invoke_virtual("java.lang.Class", "getMethod", {3, 4});
+      m.move_result(5);
+      m.const_int(6, 0);
+      m.invoke_virtual("java.lang.reflect.Method", "invoke", {5, 6, 1});
+      m.done();
+      break;
+    }
+  }
+  return b.build();
+}
+
+/// Dynamic: execute run() under taint tracking; did IMEI leak?
+bool dynamic_finds(const dex::DexFile& dexfile, int index) {
+  manifest::Manifest man;
+  man.package = "com.abl.host";
+  apk::ApkFile apk;
+  apk.write_manifest(man);
+  apk.write_classes_dex(dexfile);
+  os::Device device;
+  (void)device.install(apk);
+  vm::AppContext app;
+  app.manifest = man;
+  vm::Vm vm(device, std::move(app));
+  (void)vm.load_app(apk);
+  core::DynamicTaintTracker tracker(vm);
+  auto obj = vm.instantiate("sdk.tracker.Agent" + std::to_string(index));
+  try {
+    (void)vm.call_method(obj, "run");
+  } catch (const vm::VmException&) {
+  }
+  return (tracker.leaked_mask() &
+          privacy::mask_of(privacy::DataType::Imei)) != 0;
+}
+
+bool static_finds(const dex::DexFile& dexfile) {
+  return (privacy::analyze_privacy(dexfile).leaked_mask() &
+          privacy::mask_of(privacy::DataType::Imei)) != 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: privacy backends — static (paper) vs. dynamic\n\n");
+  struct Row {
+    const char* name;
+    FlowShape shape;
+    int static_hits = 0;
+    int dynamic_hits = 0;
+  };
+  Row rows[] = {
+      {"direct flow (always runs)", FlowShape::Direct},
+      {"gated flow (dead on this device)", FlowShape::Gated},
+      {"reflective flow", FlowShape::Reflective},
+  };
+  constexpr int kPerShape = 10;
+  for (auto& row : rows) {
+    for (int i = 0; i < kPerShape; ++i) {
+      const auto dexfile = payload(row.shape, i);
+      if (static_finds(dexfile)) ++row.static_hits;
+      if (dynamic_finds(dexfile, i)) ++row.dynamic_hits;
+    }
+  }
+  std::printf("  %-36s %10s %10s   (of %d)\n", "flow shape", "static",
+              "dynamic", kPerShape);
+  for (const auto& row : rows) {
+    std::printf("  %-36s %10d %10d\n", row.name, row.static_hits,
+                row.dynamic_hits);
+  }
+  std::printf(
+      "\n  Takeaway: the backends are complementary. Static analysis (the\n"
+      "  paper's choice for intercepted binaries) covers unexecuted code but\n"
+      "  is blind through reflection; dynamic taint is exact and pierces\n"
+      "  reflection but only sees what the fuzzer drives. Interception +\n"
+      "  static analysis additionally avoids per-event runtime overhead\n"
+      "  (paper §VI).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared bench harness: generates the paper-calibrated corpus, runs the
+// full DyDroid pipeline over it, and exposes the measured reports to the
+// per-table printers. Scale via DYDROID_SCALE (default 0.05 = ~2,937 apps).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "appgen/corpus.hpp"
+#include "core/pipeline.hpp"
+#include "malware/droidnative.hpp"
+
+namespace dydroid::bench {
+
+struct MeasuredApp {
+  const appgen::GeneratedApp* app = nullptr;
+  core::AppReport report;
+};
+
+struct Measurement {
+  appgen::Corpus corpus;
+  std::vector<MeasuredApp> apps;  // same order as corpus.apps
+  double scale = 0.05;
+};
+
+/// Train MiniDroidNative the way the paper does: samples from 19 families
+/// (scaled-down stand-in for the 1,240-app training set).
+malware::DroidNative make_trained_detector(int samples_per_family = 4);
+
+/// Generate the corpus and run the pipeline over every app.
+Measurement measure_corpus(const malware::DroidNative* detector,
+                           core::RuntimeConfig runtime = {},
+                           double scale_fallback = 0.05);
+
+/// Re-run a single generated app under a runtime configuration.
+core::AppReport rerun_app(const appgen::GeneratedApp& app,
+                          const malware::DroidNative* detector,
+                          const core::RuntimeConfig& runtime,
+                          std::uint64_t seed);
+
+// ---- printing helpers -------------------------------------------------------
+
+void print_title(const std::string& table, const std::string& caption);
+void print_row(const std::string& label, double measured, double measured_pct,
+               double paper, double paper_pct);
+void print_footer();
+
+/// "123 (45.6%)" cell format.
+std::string cell(double count, double pct);
+
+}  // namespace dydroid::bench

@@ -1,0 +1,75 @@
+// Reproduces the paper's Discussion (§V-C) coverage claim: "advertisement
+// libraries initialize most of the DCL events and the DCL events are
+// triggered when the app is launched. ... Thus using monkey is enough."
+//
+// Runs the corpus's DCL apps with (a) launch only (0 fuzz events) and
+// (b) the full fuzz budget, and compares interception coverage.
+#include "common.hpp"
+#include "support/log.hpp"
+
+using namespace dydroid;
+using namespace dydroid::bench;
+
+namespace {
+
+int count_intercepted(const Measurement& m) {
+  int n = 0;
+  for (const auto& app : m.apps) {
+    if (app.report.intercepted(core::CodeKind::Dex) ||
+        app.report.intercepted(core::CodeKind::Native)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Measurement measure_with_events(int num_events, double scale) {
+  support::set_log_level(support::LogLevel::Error);
+  Measurement m;
+  m.scale = scale;
+  appgen::CorpusConfig config;
+  config.scale = scale;
+  m.corpus = appgen::generate_corpus(config);
+  std::uint64_t seed = 0xC0FFEE;
+  for (const auto& app : m.corpus.apps) {
+    core::PipelineOptions options;
+    options.engine.monkey.num_events = num_events;
+    options.scenario_setup = [&app](os::Device& device) {
+      appgen::apply_scenario(app.scenario, device);
+    };
+    core::DyDroid pipeline(std::move(options));
+    MeasuredApp measured;
+    measured.app = &app;
+    measured.report = pipeline.analyze(app.apk, seed++);
+    m.apps.push_back(std::move(measured));
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = appgen::scale_from_env(0.02);
+  print_title("Discussion §V-C", "fuzzing coverage: launch-only vs. full fuzz");
+
+  const auto launch_only = measure_with_events(0, scale);
+  const auto full = measure_with_events(40, scale);
+
+  const int launch_hits = count_intercepted(launch_only);
+  const int full_hits = count_intercepted(full);
+
+  std::printf("  apps with intercepted DCL, launch only (0 events): %d\n",
+              launch_hits);
+  std::printf("  apps with intercepted DCL, full fuzz (40 events):  %d\n",
+              full_hits);
+  std::printf("  launch-time coverage: %.1f%% of full-fuzz coverage\n",
+              full_hits == 0 ? 0 : 100.0 * launch_hits / full_hits);
+  std::printf(
+      "\n  Paper's observation (via MAdScope): DCL is dominated by ad SDKs\n"
+      "  firing at app launch, so Monkey-style fuzzing suffices for this\n"
+      "  measurement — %s here.\n",
+      (full_hits > 0 && launch_hits >= 0.9 * full_hits) ? "confirmed"
+                                                        : "NOT confirmed");
+  print_footer();
+  return 0;
+}

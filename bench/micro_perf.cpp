@@ -1,0 +1,197 @@
+// Micro-benchmarks (google-benchmark) for the per-app costs that dominate
+// the 46K-app measurement: interpretation, container (de)serialization,
+// decompilation, ACFG lifting + matching, taint analysis, corpus build and
+// the end-to-end pipeline.
+#include <benchmark/benchmark.h>
+
+#include "analysis/decompiler.hpp"
+#include "appgen/generator.hpp"
+#include "core/pipeline.hpp"
+#include "dex/builder.hpp"
+#include "dex/disassembler.hpp"
+#include "malware/droidnative.hpp"
+#include "malware/families.hpp"
+#include "obfuscation/packer.hpp"
+#include "privacy/flowdroid.hpp"
+
+using namespace dydroid;
+
+namespace {
+
+appgen::GeneratedApp make_ad_app() {
+  appgen::AppSpec spec;
+  spec.package = "com.bench.app";
+  spec.category = "Tools";
+  spec.ad_sdk = true;
+  support::Rng rng(1);
+  return appgen::build_app(spec, rng);
+}
+
+void BM_InterpreterArithLoop(benchmark::State& state) {
+  dex::DexBuilder b;
+  auto m = b.cls("bench.Calc", "android.app.Activity").static_method("sum", 1);
+  m.const_int(1, 0);
+  m.const_int(2, 1);
+  m.label("top");
+  m.if_eqz(0, "end");
+  m.add(1, 1, 0);
+  m.sub(0, 0, 2);
+  m.jump("top");
+  m.label("end");
+  m.ret(1);
+  m.done();
+  manifest::Manifest man;
+  man.package = "bench";
+  apk::ApkFile apk;
+  apk.write_manifest(man);
+  apk.write_classes_dex(b.build());
+  os::Device device;
+  vm::AppContext app;
+  app.manifest = man;
+  vm::Vm vm(device, std::move(app));
+  (void)vm.load_app(apk);
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vm.call_static("bench.Calc", "sum", {vm::Value(n)}));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 4);  // ~4 ops per round
+}
+BENCHMARK(BM_InterpreterArithLoop)->Arg(1000)->Arg(10000);
+
+void BM_ApkSerializeRoundTrip(benchmark::State& state) {
+  const auto app = make_ad_app();
+  for (auto _ : state) {
+    const auto apk = apk::ApkFile::deserialize(app.apk);
+    benchmark::DoNotOptimize(apk.serialize());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(app.apk.size()));
+}
+BENCHMARK(BM_ApkSerializeRoundTrip);
+
+void BM_Decompile(benchmark::State& state) {
+  const auto app = make_ad_app();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::decompile(app.apk));
+  }
+}
+BENCHMARK(BM_Decompile);
+
+void BM_PackApp(benchmark::State& state) {
+  const auto app = make_ad_app();
+  const auto apk = apk::ApkFile::deserialize(app.apk);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obfuscation::pack(apk, {}));
+  }
+}
+BENCHMARK(BM_PackApp);
+
+void BM_AcfgLift(benchmark::State& state) {
+  support::Rng rng(2);
+  const auto payload = malware::generate_payload(
+      malware::Family::SwissCodeMonkeys, {}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(malware::DroidNative::lift(payload));
+  }
+}
+BENCHMARK(BM_AcfgLift);
+
+void BM_AcfgSimilarity(benchmark::State& state) {
+  support::Rng rng(3);
+  const auto a = *malware::DroidNative::lift(malware::generate_payload(
+      malware::Family::SwissCodeMonkeys, {}, rng));
+  const auto b = *malware::DroidNative::lift(malware::generate_payload(
+      malware::Family::SwissCodeMonkeys, {}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(malware::acfg_similarity(a, b));
+  }
+}
+BENCHMARK(BM_AcfgSimilarity);
+
+void BM_DetectorScan(benchmark::State& state) {
+  malware::DroidNative detector(0.9);
+  support::Rng rng(4);
+  for (int f = 0; f < malware::kNumFamilies; ++f) {
+    for (const auto& s :
+         malware::generate_training_samples(malware::family_at(f),
+                                            static_cast<int>(state.range(0)),
+                                            rng)) {
+      detector.train(malware::family_name(malware::family_at(f)), s);
+    }
+  }
+  const auto payload =
+      malware::generate_payload(malware::Family::ChathookPtrace, {}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.scan(payload));
+  }
+}
+BENCHMARK(BM_DetectorScan)->Arg(2)->Arg(8);
+
+void BM_PrivacyAnalysis(benchmark::State& state) {
+  // The heaviest realistic payload: every data type leaked.
+  privacy::TaintMask mask = 0;
+  for (int i = 0; i < privacy::kNumDataTypes; ++i) {
+    mask |= privacy::mask_of(static_cast<privacy::DataType>(i));
+  }
+  appgen::AppSpec spec;
+  spec.package = "com.bench.leaky";
+  spec.category = "Tools";
+  spec.analytics_sdk = true;
+  spec.sdk_leaks = mask;
+  support::Rng rng(5);
+  const auto app = appgen::build_app(spec, rng);
+  const auto apk = apk::ApkFile::deserialize(app.apk);
+  const auto payload = *apk.get("assets/tracker.bin");
+  const auto dexfile = dex::DexFile::deserialize(payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(privacy::analyze_privacy(dexfile));
+  }
+}
+BENCHMARK(BM_PrivacyAnalysis);
+
+void BM_BuildApp(benchmark::State& state) {
+  appgen::AppSpec spec;
+  spec.package = "com.bench.gen";
+  spec.category = "Tools";
+  spec.ad_sdk = true;
+  spec.analytics_sdk = true;
+  spec.own_native_dcl = true;
+  support::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(appgen::build_app(spec, rng));
+  }
+}
+BENCHMARK(BM_BuildApp);
+
+void BM_FullPipelinePerApp(benchmark::State& state) {
+  const auto app = make_ad_app();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    core::PipelineOptions options;
+    options.scenario_setup = [&app](os::Device& device) {
+      appgen::apply_scenario(app.scenario, device);
+    };
+    core::DyDroid pipeline(std::move(options));
+    benchmark::DoNotOptimize(pipeline.analyze(app.apk, seed++));
+  }
+}
+BENCHMARK(BM_FullPipelinePerApp);
+
+void BM_MonkeySession(benchmark::State& state) {
+  const auto app = make_ad_app();
+  const auto apk = apk::ApkFile::deserialize(app.apk);
+  const auto man = apk.read_manifest();
+  os::Device device;
+  (void)device.install(apk);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    support::Rng rng(seed++);
+    benchmark::DoNotOptimize(core::run_app(device, apk, man, rng));
+  }
+}
+BENCHMARK(BM_MonkeySession);
+
+}  // namespace
+
+BENCHMARK_MAIN();

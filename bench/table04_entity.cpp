@@ -1,0 +1,51 @@
+// Reproduces paper Table IV: the responsible entity launching DCL —
+// third-party SDK/library vs. the app's own code — identified from the
+// stack-trace call site (Fig. 2), for DEX and native loads.
+#include "common.hpp"
+
+using namespace dydroid;
+using namespace dydroid::bench;
+
+int main() {
+  const auto m = measure_corpus(nullptr);
+  print_title("Table IV", "responsible entity of DCL (stack-trace call site)");
+
+  struct Row {
+    double total = 0, third = 0, own = 0, both = 0;
+  };
+  Row dex, native;
+  for (const auto& app : m.apps) {
+    auto tally = [&](Row& row, core::CodeKind kind) {
+      if (!app.report.intercepted(kind)) return;
+      const auto use = app.report.entity_use(kind);
+      row.total += 1;
+      if (use.third_party) row.third += 1;
+      if (use.own) row.own += 1;
+      if (use.own && use.third_party) row.both += 1;
+    };
+    tally(dex, core::CodeKind::Dex);
+    tally(native, core::CodeKind::Native);
+  }
+
+  auto print = [](const char* name, const Row& r, double pt, double po,
+                  double pb, double ptotal) {
+    std::printf("[%s] %.0f apps intercepted (paper %.0f)\n", name, r.total,
+                ptotal);
+    auto pct = [](double x, double t) { return t == 0 ? 0 : 100.0 * x / t; };
+    print_row("3rd-party", r.third, pct(r.third, r.total), pt, pct(pt, ptotal));
+    print_row("Own", r.own, pct(r.own, r.total), po, pct(po, ptotal));
+    print_row("3rd-party & Own", r.both, pct(r.both, r.total), pb,
+              pct(pb, ptotal));
+    std::printf("\n");
+  };
+  print("DEX", dex, 16755, 50, 37, 16768);
+  print("Native", native, 11834, 2280, 366, 13748);
+
+  std::printf("Shape check: >85%% of DCL initiated by 3rd parties: %s\n",
+              (dex.total > 0 && dex.third / dex.total > 0.85 &&
+               native.total > 0 && native.third / native.total > 0.85)
+                  ? "yes"
+                  : "NO");
+  print_footer();
+  return 0;
+}

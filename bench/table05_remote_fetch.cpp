@@ -1,0 +1,37 @@
+// Reproduces paper Table V: apps executing binaries downloaded from remote
+// servers at runtime (a Google Play content-policy violation). In the
+// paper all 27 such loads were initiated by Baidu advertisement libraries
+// fetching JAR/APK files from http://mobads.baidu.com/ads/pa/.
+#include "common.hpp"
+
+using namespace dydroid;
+using namespace dydroid::bench;
+
+int main() {
+  const auto m = measure_corpus(nullptr);
+  print_title("Table V", "apps loading remotely fetched code (policy violation)");
+
+  std::size_t violators = 0;
+  std::size_t baidu = 0;
+  std::printf("  %-40s %-12s %s\n", "Package", "Entity", "Origin URL");
+  for (const auto& app : m.apps) {
+    const auto remote = app.report.remote_loaded();
+    if (remote.empty()) continue;
+    ++violators;
+    for (const auto* binary : remote) {
+      if (binary->origin_url->find("mobads.baidu.com") != std::string::npos) {
+        ++baidu;
+      }
+      std::printf("  %-40s %-12s %s\n", app.report.package.c_str(),
+                  std::string(core::entity_name(binary->binary.entity)).c_str(),
+                  binary->origin_url->c_str());
+    }
+  }
+  std::printf(
+      "\n  measured: %zu violating apps (paper: 27 of 16,768; scaled ~%.1f)\n",
+      violators, 27.0 * m.scale);
+  std::printf("  all remote loads via Baidu ad SDK: %s (paper: yes)\n",
+              (violators > 0 && baidu > 0) ? "yes" : "NO");
+  print_footer();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces paper Table IX: applications with code-injection-vulnerable
+// DCL — loading DEX from world-writable external storage (on pre-4.4
+// capable apps) and loading native code from another app's private internal
+// storage. Integrity-verifying apps must not be flagged.
+#include "common.hpp"
+
+using namespace dydroid;
+using namespace dydroid::bench;
+
+int main() {
+  const auto m = measure_corpus(nullptr);
+  print_title("Table IX", "vulnerable applications detected");
+
+  struct Row {
+    int apps = 0;
+    std::vector<std::string> packages;
+  };
+  Row dex_external, dex_other, native_external, native_other;
+  int checked_not_flagged = 0;
+
+  for (const auto& app : m.apps) {
+    if (app.app->spec.vuln != appgen::VulnKind::None &&
+        app.app->spec.vuln_integrity_check && app.report.vulns.empty()) {
+      ++checked_not_flagged;
+    }
+    if (app.report.vulns.empty()) continue;
+    bool counted_de = false, counted_do = false, counted_ne = false,
+         counted_no = false;
+    for (const auto& v : app.report.vulns) {
+      const bool external = v.category == core::VulnCategory::ExternalStorage;
+      if (v.kind == core::CodeKind::Dex) {
+        auto& row = external ? dex_external : dex_other;
+        auto& counted = external ? counted_de : counted_do;
+        if (!counted) {
+          counted = true;
+          ++row.apps;
+          row.packages.push_back(
+              app.report.package + " (" +
+              std::to_string(app.app->spec.popularity.downloads) + ")");
+        }
+      } else {
+        auto& row = external ? native_external : native_other;
+        auto& counted = external ? counted_ne : counted_no;
+        if (!counted) {
+          counted = true;
+          ++row.apps;
+          row.packages.push_back(
+              app.report.package + " (" +
+              std::to_string(app.app->spec.popularity.downloads) + ")");
+        }
+      }
+    }
+  }
+
+  auto print = [](const char* kind, const char* category, const Row& row,
+                  int paper) {
+    std::printf("  [%s] %-42s measured %2d apps (paper %d)\n", kind, category,
+                row.apps, paper);
+    for (const auto& pkg : row.packages) {
+      std::printf("      %s\n", pkg.c_str());
+    }
+  };
+  print("DEX", "Internal storage of other applications", dex_other, 0);
+  print("DEX", "External storage (< Android 4.4)", dex_external, 7);
+  print("Native", "Internal storage of other applications", native_other, 7);
+  print("Native", "External storage (< Android 4.4)", native_external, 0);
+
+  std::printf(
+      "\n  integrity-verifying apps correctly NOT flagged: %d\n"
+      "  Shape: DEX risk sits on external storage, native risk on other"
+      " apps' internal storage: %s\n",
+      checked_not_flagged,
+      (dex_external.apps > 0 && native_other.apps > 0 && dex_other.apps == 0 &&
+       native_external.apps == 0)
+          ? "yes"
+          : "NO");
+  print_footer();
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "analysis/decompiler.hpp"
+
+#include "dex/disassembler.hpp"
+
+namespace dydroid::analysis {
+
+using support::Result;
+
+Result<Ir> decompile(std::span<const std::uint8_t> apk_bytes) {
+  Ir ir;
+  try {
+    ir.apk = apk::ApkFile::deserialize(apk_bytes, apk::ParseMode::kLenient);
+    ir.manifest = ir.apk.read_manifest();
+    ir.entries = ir.apk.entry_names();
+    ir.classes_dex = ir.apk.read_classes_dex();
+    if (ir.classes_dex.has_value()) {
+      // Disassembly applies the tooling-grade strictness (debug_info parse,
+      // full validation) that anti-decompilation packers target.
+      ir.smali = dex::disassemble(*ir.classes_dex);
+    }
+  } catch (const support::ParseError& e) {
+    return Result<Ir>::failure(std::string("decompile: ") + e.what());
+  }
+  return ir;
+}
+
+bool has_local_bytecode_store(const Ir& ir) {
+  for (const auto& name : ir.entries) {
+    if (name == apk::kClassesDexEntry || name == apk::kManifestEntry) continue;
+    if (name.starts_with(apk::kAssetsDirPrefix)) return true;
+    if (name.ends_with(".dex") || name.ends_with(".jar") ||
+        name.ends_with(".zip") || name.ends_with(".apk") ||
+        name.ends_with(".odex")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dydroid::analysis

@@ -1,0 +1,40 @@
+// Decompiler: the baksmali/apktool front-end of Figure 1. Unpacks a SimApk
+// and produces the intermediate representation (manifest + parsed dex +
+// smali text) consumed by the static filter and the obfuscation analyzer.
+//
+// Decompilation intentionally inherits the tooling's strictness: a poisoned
+// debug_info section (anti-decompilation) makes disassembly throw, and the
+// whole app is recorded as "failed reverse engineering" — the paper's 54
+// apps ("The decompiler crashes and does not generate the smali code").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apk/apk.hpp"
+#include "dex/dexfile.hpp"
+#include "manifest/manifest.hpp"
+#include "support/error.hpp"
+
+namespace dydroid::analysis {
+
+/// Decompiled intermediate representation of one app.
+struct Ir {
+  manifest::Manifest manifest;
+  std::optional<dex::DexFile> classes_dex;  // absent if no classes.dex entry
+  std::string smali;                        // disassembly text ("" if no dex)
+  std::vector<std::string> entries;         // package file table
+  apk::ApkFile apk;                         // lenient-parsed container
+};
+
+/// Decompile an APK. Fails (like apktool/baksmali) on malformed containers
+/// and on anti-decompilation-poisoned bytecode.
+support::Result<Ir> decompile(std::span<const std::uint8_t> apk_bytes);
+
+/// True if the IR contains a locally packed file whose format can store
+/// bytecode (assets payloads, extra dex/jar entries) — obfuscation rule 2's
+/// second clause.
+bool has_local_bytecode_store(const Ir& ir);
+
+}  // namespace dydroid::analysis

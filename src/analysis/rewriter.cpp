@@ -1,0 +1,27 @@
+#include "analysis/rewriter.hpp"
+
+#include "apk/apk.hpp"
+
+namespace dydroid::analysis {
+
+using support::Bytes;
+using support::Result;
+
+Result<Bytes> rewrite_with_permission(std::span<const std::uint8_t> apk_bytes,
+                                      std::string_view permission) {
+  apk::ApkFile pkg;
+  try {
+    // Strict mode: repackaging tooling verifies every entry, which is what
+    // anti-repackaging CRC traps exploit.
+    pkg = apk::ApkFile::deserialize(apk_bytes, apk::ParseMode::kStrict);
+    auto man = pkg.read_manifest();
+    man.add_permission(permission);
+    pkg.write_manifest(man);
+  } catch (const support::ParseError& e) {
+    return Result<Bytes>::failure(std::string("rewrite: ") + e.what());
+  }
+  pkg.sign(kResignKey);
+  return pkg.serialize();
+}
+
+}  // namespace dydroid::analysis

@@ -1,0 +1,25 @@
+// App rewriter: unpacks, injects a permission into the manifest, repacks and
+// re-signs — the apktool-based repackaging step DyDroid applies when an app
+// lacks WRITE_EXTERNAL_STORAGE (the dynamic-analysis log lives on external
+// storage). Repacking is strict: anti-repackaging CRC traps crash it
+// (paper Table II "Rewriting failure").
+#pragma once
+
+#include <string_view>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace dydroid::analysis {
+
+/// Key used to re-sign rewritten packages (the original developer key is
+/// not available to the analyst).
+inline constexpr std::string_view kResignKey = "dydroid-resign";
+
+/// Add `permission` to the app's manifest and repack. Returns the rewritten
+/// APK bytes, or failure when strict unpacking trips an anti-repackaging
+/// trap or the container is malformed.
+support::Result<support::Bytes> rewrite_with_permission(
+    std::span<const std::uint8_t> apk_bytes, std::string_view permission);
+
+}  // namespace dydroid::analysis

@@ -1,0 +1,148 @@
+#include "apk/apk.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace dydroid::apk {
+
+using support::Bytes;
+using support::ParseError;
+
+void ApkFile::put(std::string_view path, Bytes data) {
+  Entry e;
+  e.stored_crc = support::crc32(data);
+  e.data = std::move(data);
+  entries_.insert_or_assign(std::string(path), std::move(e));
+}
+
+void ApkFile::put(std::string_view path, std::string_view text) {
+  put(path, support::to_bytes(text));
+}
+
+void ApkFile::put_with_bad_crc(std::string_view path, Bytes data) {
+  Entry e;
+  e.stored_crc = support::crc32(data) ^ 0xdeadbeefu;
+  e.data = std::move(data);
+  entries_.insert_or_assign(std::string(path), std::move(e));
+}
+
+bool ApkFile::remove(std::string_view path) {
+  const auto it = entries_.find(path);
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+bool ApkFile::contains(std::string_view path) const {
+  return entries_.find(path) != entries_.end();
+}
+
+const Bytes* ApkFile::get(std::string_view path) const {
+  const auto it = entries_.find(path);
+  if (it == entries_.end()) return nullptr;
+  return &it->second.data;
+}
+
+std::vector<std::string> ApkFile::entry_names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+manifest::Manifest ApkFile::read_manifest() const {
+  const auto* data = get(kManifestEntry);
+  if (data == nullptr) throw ParseError("apk: no AndroidManifest.xml");
+  return manifest::Manifest::from_text(support::to_string(*data));
+}
+
+void ApkFile::write_manifest(const manifest::Manifest& m) {
+  put(kManifestEntry, m.to_text());
+}
+
+std::optional<dex::DexFile> ApkFile::read_classes_dex() const {
+  const auto* data = get(kClassesDexEntry);
+  if (data == nullptr) return std::nullopt;
+  return dex::DexFile::deserialize(*data);
+}
+
+void ApkFile::write_classes_dex(const dex::DexFile& dex) {
+  put(kClassesDexEntry, dex.serialize());
+}
+
+std::uint64_t ApkFile::content_hash() const {
+  std::uint64_t h = 0;
+  for (const auto& [name, entry] : entries_) {
+    h = support::hash_combine(h, support::fnv1a64(name));
+    h = support::hash_combine(h, support::fnv1a64(entry.data));
+  }
+  return h;
+}
+
+void ApkFile::sign(std::string_view signer_key) {
+  signer_ = std::string(signer_key);
+  signature_ =
+      support::hash_combine(content_hash(), support::fnv1a64(signer_key));
+}
+
+bool ApkFile::verify_signature() const {
+  if (signer_.empty()) return false;
+  return signature_ ==
+         support::hash_combine(content_hash(), support::fnv1a64(signer_));
+}
+
+bool ApkFile::has_crc_trap() const {
+  return std::any_of(entries_.begin(), entries_.end(), [](const auto& kv) {
+    return kv.second.stored_crc != support::crc32(kv.second.data);
+  });
+}
+
+Bytes ApkFile::serialize() const {
+  support::ByteWriter w;
+  w.raw(support::to_bytes(kMagic));
+  w.str(signer_);
+  w.u64(signature_);
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [name, entry] : entries_) {
+    w.str(name);
+    w.u32(entry.stored_crc);
+    w.blob(entry.data);
+  }
+  return w.take();
+}
+
+ApkFile ApkFile::deserialize(std::span<const std::uint8_t> data,
+                             ParseMode mode) {
+  support::ByteReader r(data);
+  const auto magic = r.raw(kMagic.size());
+  if (support::to_string(magic) != kMagic) throw ParseError("bad SimApk magic");
+  ApkFile apk;
+  apk.signer_ = r.str();
+  apk.signature_ = r.u64();
+  const auto n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto name = r.str();
+    Entry e;
+    e.stored_crc = r.u32();
+    e.data = r.blob();
+    if (mode == ParseMode::kStrict &&
+        e.stored_crc != support::crc32(e.data)) {
+      throw ParseError("apk entry CRC mismatch: " + name);
+    }
+    apk.entries_.insert_or_assign(name, std::move(e));
+  }
+  return apk;
+}
+
+bool looks_like_apk(std::span<const std::uint8_t> data) {
+  const auto magic = ApkFile::kMagic;
+  if (data.size() < magic.size()) return false;
+  return std::equal(magic.begin(), magic.end(), data.begin(),
+                    [](char c, std::uint8_t b) {
+                      return static_cast<std::uint8_t>(c) == b;
+                    });
+}
+
+}  // namespace dydroid::apk

@@ -1,0 +1,88 @@
+// SimApk: the installation-package analogue (zip + manifest + classes.dex +
+// assets + native libs + signature).
+//
+// Two parse modes mirror the real ecosystem: the *device* (VM installer) is
+// lenient about per-entry CRC mismatches, exactly as Android's zip handling
+// tolerates quirks that break third-party tools; the *tooling* (unpacker /
+// repacker) is strict and throws. Anti-repackaging packers plant a
+// CRC-mismatched trap entry to crash apktool while the app still installs —
+// the paper's Table II "Rewriting failure" rows.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dex/dexfile.hpp"
+#include "manifest/manifest.hpp"
+#include "support/bytes.hpp"
+
+namespace dydroid::apk {
+
+/// Well-known entry paths.
+inline constexpr std::string_view kManifestEntry = "AndroidManifest.xml";
+inline constexpr std::string_view kClassesDexEntry = "classes.dex";
+inline constexpr std::string_view kLibDirPrefix = "lib/";
+inline constexpr std::string_view kAssetsDirPrefix = "assets/";
+
+enum class ParseMode {
+  kLenient,  // device install: CRC mismatches ignored
+  kStrict,   // tooling (unpacker/repacker): CRC mismatches throw
+};
+
+class ApkFile {
+ public:
+  /// Add or replace an entry. The stored CRC is computed from the data.
+  void put(std::string_view path, support::Bytes data);
+  void put(std::string_view path, std::string_view text);
+  /// Add an entry whose *stored* CRC deliberately mismatches its data — the
+  /// anti-repackaging trap (valid on-device, fatal for strict tooling).
+  void put_with_bad_crc(std::string_view path, support::Bytes data);
+  /// Remove an entry; returns false if absent.
+  bool remove(std::string_view path);
+
+  [[nodiscard]] bool contains(std::string_view path) const;
+  [[nodiscard]] const support::Bytes* get(std::string_view path) const;
+  [[nodiscard]] std::vector<std::string> entry_names() const;
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+  /// Convenience: the manifest entry, parsed. Throws if absent/malformed.
+  [[nodiscard]] manifest::Manifest read_manifest() const;
+  void write_manifest(const manifest::Manifest& m);
+
+  /// Convenience: classes.dex, parsed. Nullopt if the entry is absent.
+  [[nodiscard]] std::optional<dex::DexFile> read_classes_dex() const;
+  void write_classes_dex(const dex::DexFile& dex);
+
+  /// Sign with a developer key string (hash-based signature over entries).
+  void sign(std::string_view signer_key);
+  [[nodiscard]] const std::string& signer() const { return signer_; }
+  [[nodiscard]] bool verify_signature() const;
+
+  /// True if any entry's stored CRC mismatches its content.
+  [[nodiscard]] bool has_crc_trap() const;
+
+  [[nodiscard]] support::Bytes serialize() const;
+  static ApkFile deserialize(std::span<const std::uint8_t> data,
+                             ParseMode mode = ParseMode::kLenient);
+
+  static constexpr std::string_view kMagic = "SAPK1";
+
+ private:
+  struct Entry {
+    support::Bytes data;
+    std::uint32_t stored_crc = 0;
+  };
+  [[nodiscard]] std::uint64_t content_hash() const;
+
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::string signer_;
+  std::uint64_t signature_ = 0;
+};
+
+/// True if `data` begins with the SimApk magic.
+bool looks_like_apk(std::span<const std::uint8_t> data);
+
+}  // namespace dydroid::apk

@@ -1,0 +1,513 @@
+#include "appgen/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+#include "obfuscation/language_db.hpp"
+#include "support/strings.hpp"
+
+namespace dydroid::appgen {
+
+using support::Rng;
+
+const std::vector<std::string>& play_categories() {
+  static const std::vector<std::string>* kCategories = new std::vector<
+      std::string>{
+      "Art & Design",    "Auto & Vehicles", "Beauty",          "Books",
+      "Business",        "Comics",          "Communication",   "Dating",
+      "Education",       "Entertainment",   "Events",          "Finance",
+      "Food & Drink",    "Health",          "House & Home",    "Libraries",
+      "Lifestyle",       "Magazines",       "Maps",            "Medical",
+      "Music & Audio",   "News",            "Parenting",       "Personalization",
+      "Photography",     "Productivity",    "Shopping",        "Social",
+      "Sports",          "Tools",           "Travel",          "Video",
+      "Weather",         "Game Action",     "Game Arcade",     "Game Casual",
+      "Game Puzzle",     "Game Racing",     "Game RPG",        "Game Simulation",
+      "Game Sports",     "Game Strategy"};
+  return *kCategories;
+}
+
+double scale_from_env(double fallback) {
+  if (const char* env = std::getenv("DYDROID_SCALE")) {
+    try {
+      const double v = std::stod(env);
+      if (v > 0 && v <= 1.0) return v;
+    } catch (const std::exception&) {
+    }
+  }
+  return fallback;
+}
+
+namespace {
+
+/// Cursor handing out disjoint index groups from a shuffled order.
+class Carver {
+ public:
+  explicit Carver(std::size_t n, Rng& rng) {
+    order_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) order_[i] = i;
+    rng.shuffle(order_);
+  }
+  std::vector<std::size_t> take(std::size_t k) {
+    k = std::min(k, order_.size() - cursor_);
+    std::vector<std::size_t> out(order_.begin() + static_cast<long>(cursor_),
+                                 order_.begin() + static_cast<long>(cursor_ + k));
+    cursor_ += k;
+    return out;
+  }
+  [[nodiscard]] std::size_t remaining() const {
+    return order_.size() - cursor_;
+  }
+
+ private:
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+std::string make_package(Rng& rng, std::size_t index) {
+  const auto& words = obfuscation::dictionary_words();
+  return support::format("com.%s.%s%zu", rng.pick(words).c_str(),
+                         rng.pick(words).c_str(), index);
+}
+
+/// Lognormal-ish positive sample with the given median.
+std::int64_t sample_count(Rng& rng, double median, double sigma) {
+  // Box-Muller from two uniforms.
+  const double u1 = std::max(1e-12, rng.uniform());
+  const double u2 = rng.uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return static_cast<std::int64_t>(median * std::exp(sigma * z)) + 1;
+}
+
+/// Privacy quota rows: {type, total apps, exclusively-3rd-party apps} —
+/// paper Table X (Settings handled separately: the ad/Baidu payloads
+/// already contribute the bulk of it).
+struct PrivacyQuota {
+  privacy::DataType type;
+  double total;
+  double excl_third;
+};
+constexpr PrivacyQuota kPrivacyQuotas[] = {
+    {privacy::DataType::Location, 254, 251},
+    {privacy::DataType::Imei, 581, 576},
+    {privacy::DataType::Imsi, 27, 25},
+    {privacy::DataType::Iccid, 8, 6},
+    {privacy::DataType::PhoneNumber, 12, 10},
+    {privacy::DataType::Account, 23, 23},
+    {privacy::DataType::InstalledApplications, 32, 28},
+    {privacy::DataType::InstalledPackages, 235, 231},
+    {privacy::DataType::Contact, 1, 1},
+    {privacy::DataType::Calendar, 76, 73},
+    {privacy::DataType::CallLog, 32, 32},
+    {privacy::DataType::Browser, 1, 1},
+    {privacy::DataType::Audio, 5, 5},
+    {privacy::DataType::Image, 74, 72},
+    {privacy::DataType::Video, 31, 31},
+    {privacy::DataType::Mms, 1, 1},
+    {privacy::DataType::Sms, 1, 1},
+};
+
+/// Fig. 3 category weights for DEX-encryption apps (Entertainment, Tools
+/// and Shopping dominate).
+struct PackerCategoryWeight {
+  const char* category;
+  double weight;
+};
+constexpr PackerCategoryWeight kPackerCategories[] = {
+    {"Entertainment", 46}, {"Tools", 31},         {"Shopping", 26},
+    {"Communication", 8},  {"Finance", 7},        {"Game Casual", 6},
+    {"Productivity", 5},   {"Social", 4},         {"Video", 3},
+    {"Photography", 2},    {"Personalization", 2},
+};
+
+}  // namespace
+
+Corpus generate_corpus(const CorpusConfig& config) {
+  const double s = config.scale;
+  if (s <= 0 || s > 1.0) throw std::invalid_argument("corpus scale");
+  Rng rng(config.seed);
+
+  auto q = [&](double x) {
+    return static_cast<std::size_t>(std::llround(x * s));
+  };
+  auto q1 = [&](double x) {
+    return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(x * s)));
+  };
+
+  const std::size_t n = q1(58739);
+  std::vector<AppSpec> specs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& spec = specs[i];
+    spec.package = make_package(rng, i);
+    spec.category = rng.pick(play_categories());
+    spec.min_sdk = rng.chance(0.25) ? 16 : 19;
+    spec.write_external_permission = rng.chance(0.7);
+  }
+
+  Carver carve(n, rng);
+
+  // ---- Structure groups (disjoint) -----------------------------------------
+  const auto anti_decomp = carve.take(q1(54));
+  const auto both_code = carve.take(q(20136));
+  const auto dex_only = carve.take(q(40849 - 20136));
+  const auto native_only = carve.take(q(25287 - 20136));
+  // Everything still in the carver is DCL-free filler.
+
+  // Sub-carvers over the code pools.
+  std::deque<std::size_t> pool_both(both_code.begin(), both_code.end());
+  std::deque<std::size_t> pool_dex(dex_only.begin(), dex_only.end());
+  std::deque<std::size_t> pool_native(native_only.begin(), native_only.end());
+  auto take_from = [](std::deque<std::size_t>& pool, std::size_t k) {
+    std::vector<std::size_t> out;
+    while (k-- > 0 && !pool.empty()) {
+      out.push_back(pool.front());
+      pool.pop_front();
+    }
+    return out;
+  };
+
+  auto mark_dead = [&](std::size_t i) {
+    auto& spec = specs[i];
+    const bool in_both =
+        std::find(both_code.begin(), both_code.end(), i) != both_code.end();
+    const bool in_dex =
+        in_both ||
+        std::find(dex_only.begin(), dex_only.end(), i) != dex_only.end();
+    spec.dead_dex_dcl = in_dex;
+    spec.dead_native_dcl = in_both || !in_dex;
+  };
+
+  // ---- Table II failure rows ------------------------------------------------
+  // Rewriting failures: anti-repackaging apps lacking the external-storage
+  // permission (454 in the DEX column, 133 of them also native).
+  for (const auto i : take_from(pool_both, q1(133))) {
+    specs[i].anti_repackaging = true;
+    specs[i].write_external_permission = false;
+    mark_dead(i);
+  }
+  for (const auto i : take_from(pool_dex, q(454 - 133))) {
+    specs[i].anti_repackaging = true;
+    specs[i].write_external_permission = false;
+    mark_dead(i);
+  }
+  // No-activity apps (8 DEX / 13 native columns).
+  for (const auto i : take_from(pool_both, q1(8))) {
+    specs[i].no_activity = true;
+    mark_dead(i);
+  }
+  for (const auto i : take_from(pool_native, q(5))) {
+    specs[i].no_activity = true;
+    mark_dead(i);
+  }
+  // Runtime crashes (33 DEX / 184 native columns).
+  for (const auto i : take_from(pool_both, q1(33))) {
+    specs[i].crash_on_start = true;
+    mark_dead(i);
+  }
+  for (const auto i : take_from(pool_native, q(151))) {
+    specs[i].crash_on_start = true;
+    mark_dead(i);
+  }
+
+  // ---- Executing DEX DCL (Table IV/V/X populations) --------------------------
+  auto take_dex_exec = [&](std::size_t k) {
+    auto out = take_from(pool_dex, k);
+    if (out.size() < k) {
+      auto extra = take_from(pool_both, k - out.size());
+      out.insert(out.end(), extra.begin(), extra.end());
+    }
+    return out;
+  };
+  const auto ad_apps = take_dex_exec(q(15012));
+  const auto baidu_apps = take_dex_exec(q1(27));
+  const auto analytics_apps = take_dex_exec(q(1716));
+  const auto own_vuln_dex = take_dex_exec(q1(7));
+  const auto own_only_plain = take_dex_exec(q1(6));
+  const auto own_both_entity = take_dex_exec(q1(37));
+  // Integrity-check negatives: same risky pattern, but verified — must NOT
+  // be flagged in Table IX.
+  const auto vuln_dex_checked = take_dex_exec(q1(2));
+
+  for (const auto i : ad_apps) specs[i].ad_sdk = true;
+  // A small minority of SDKs defer loading until user interaction (§V-C
+  // coverage discussion): mark ~3% of the analytics apps click-triggered.
+  for (std::size_t k = 0; k < analytics_apps.size(); ++k) {
+    if (k % 33 == 7) specs[analytics_apps[k]].dcl_on_click = true;
+  }
+  for (const auto i : baidu_apps) specs[i].baidu_remote_sdk = true;
+  for (const auto i : analytics_apps) specs[i].analytics_sdk = true;
+  for (const auto i : own_vuln_dex) {
+    specs[i].vuln = VulnKind::DexExternalStorage;
+    specs[i].min_sdk = 16;  // supports pre-4.4 devices (Table IX condition)
+  }
+  for (const auto i : vuln_dex_checked) {
+    specs[i].vuln = VulnKind::DexExternalStorage;
+    specs[i].vuln_integrity_check = true;
+    specs[i].min_sdk = 16;
+  }
+  for (const auto i : own_only_plain) specs[i].own_dex_dcl = true;
+  for (const auto i : own_both_entity) {
+    specs[i].own_dex_dcl = true;
+    specs[i].analytics_sdk = true;
+  }
+  // Non-executing remainder of the dex pools carries dead DCL code.
+  for (const auto i : pool_dex) specs[i].dead_dex_dcl = true;
+
+  // ---- Executing native DCL ---------------------------------------------------
+  auto take_native_exec = [&](std::size_t k) {
+    auto out = take_from(pool_native, k);
+    if (out.size() < k) {
+      auto extra = take_from(pool_both, k - out.size());
+      out.insert(out.end(), extra.begin(), extra.end());
+    }
+    return out;
+  };
+  const auto chathook_apps = take_native_exec(q1(84));
+  const auto sdk_native_apps = take_native_exec(q(11468 - 84));
+  const auto own_vuln_native = take_native_exec(q1(7));
+  const auto vuln_native_checked = take_native_exec(q1(1));
+  const auto own_native_apps = take_native_exec(q(1914 - 8));
+  const auto native_both_entity = take_native_exec(q1(366));
+
+  for (const auto i : sdk_native_apps) specs[i].sdk_native_dcl = true;
+  for (const auto i : own_vuln_native) {
+    specs[i].vuln = VulnKind::NativeOtherAppInternal;
+  }
+  for (const auto i : vuln_native_checked) {
+    specs[i].vuln = VulnKind::NativeOtherAppInternal;
+    specs[i].vuln_integrity_check = true;
+  }
+  for (const auto i : own_native_apps) specs[i].own_native_dcl = true;
+  for (const auto i : native_both_entity) {
+    specs[i].own_native_dcl = true;
+    specs[i].sdk_native_dcl = true;
+  }
+  for (const auto i : pool_native) specs[i].dead_native_dcl = true;
+  // Both-pool leftovers carry dead code of both kinds.
+  for (const auto i : pool_both) {
+    specs[i].dead_dex_dcl = true;
+    specs[i].dead_native_dcl = true;
+  }
+  // Post-pass: every member of a code group must actually carry that code
+  // kind — apps given only the other kind's behaviours (e.g. a both-pool
+  // app consumed by the native-exec overflow) get the missing kind as dead
+  // code so the Table II column populations stay correct.
+  for (const auto i : both_code) {
+    if (!specs[i].any_dex_dcl_code()) specs[i].dead_dex_dcl = true;
+    if (!specs[i].any_native_code()) specs[i].dead_native_dcl = true;
+  }
+  for (const auto i : dex_only) {
+    if (!specs[i].any_dex_dcl_code()) specs[i].dead_dex_dcl = true;
+  }
+  for (const auto i : native_only) {
+    if (!specs[i].any_native_code()) specs[i].dead_native_dcl = true;
+  }
+
+  // ---- Malware (Table VII/VIII) ----------------------------------------------
+  const auto swiss_count = q1(1);
+  const auto adware_count = q1(2);
+  std::vector<std::size_t> malware_files;  // (app index, file slot implicit)
+  {
+    std::size_t taken = 0;
+    for (std::size_t k = 0; k < swiss_count && k < ad_apps.size(); ++k) {
+      specs[ad_apps[k]].malware.push_back(
+          MalwarePayloadSpec{malware::Family::SwissCodeMonkeys, {}});
+      malware_files.push_back(ad_apps[k]);
+      ++taken;
+    }
+    for (std::size_t k = 0; k < adware_count && k < analytics_apps.size();
+         ++k) {
+      specs[analytics_apps[k]].malware.push_back(
+          MalwarePayloadSpec{malware::Family::AdwareAirpushMinimob, {}});
+      malware_files.push_back(analytics_apps[k]);
+    }
+    for (const auto i : chathook_apps) {
+      specs[i].malware.push_back(
+          MalwarePayloadSpec{malware::Family::ChathookPtrace, {}});
+      malware_files.push_back(i);
+    }
+    // Top the file count up to the Table VII total of 91 (one app may load
+    // several malicious files) with second chathook payloads.
+    const auto target_files = q1(91);
+    std::size_t extra = 0;
+    while (malware_files.size() < target_files &&
+           extra < chathook_apps.size()) {
+      specs[chathook_apps[extra]].malware.push_back(
+          MalwarePayloadSpec{malware::Family::ChathookPtrace, {}});
+      malware_files.push_back(chathook_apps[extra]);
+      ++extra;
+    }
+    (void)taken;
+  }
+  // Trigger gates over the file list: disjoint slices sized to Table VIII
+  // (19 time / 35 airplane / 3 connectivity / 21 location of 91; the rest
+  // ungated).
+  {
+    struct GateSlice {
+      MalwareTrigger trigger;
+      std::size_t count;
+    };
+    const GateSlice slices[] = {
+        {MalwareTrigger::SystemTime, q1(19)},
+        {MalwareTrigger::AirplaneMode, q1(35)},
+        {MalwareTrigger::Connectivity, q1(3)},
+        {MalwareTrigger::Location, q1(21)},
+    };
+    // Walk (app, payload) pairs in order.
+    std::vector<std::pair<std::size_t, std::size_t>> file_slots;
+    {
+      std::map<std::size_t, std::size_t> next_slot;
+      for (const auto i : malware_files) {
+        file_slots.emplace_back(i, next_slot[i]++);
+      }
+    }
+    std::size_t cursor = 0;
+    for (const auto& slice : slices) {
+      for (std::size_t k = 0; k < slice.count && cursor < file_slots.size();
+           ++k, ++cursor) {
+        const auto [app, slot] = file_slots[cursor];
+        specs[app].malware[slot].triggers.push_back(slice.trigger);
+      }
+    }
+  }
+
+  // ---- Privacy quotas (Table X) ----------------------------------------------
+  // Third-party leaks ride on the analytics payloads; Settings additionally
+  // comes from the ad/Baidu payloads (paper: the Google Ads library "only
+  // reads the device settings").
+  std::vector<std::size_t> analytics_pool = analytics_apps;
+  analytics_pool.insert(analytics_pool.end(), own_both_entity.begin(),
+                        own_both_entity.end());
+  {
+    const auto settings_extra =
+        std::min(analytics_pool.size(), q(16441 - 15012 - 27));
+    for (std::size_t k = 0; k < settings_extra; ++k) {
+      specs[analytics_pool[k]].sdk_leaks |=
+          privacy::mask_of(privacy::DataType::Settings);
+    }
+    std::size_t rr = 0;
+    for (const auto& quota : kPrivacyQuotas) {
+      const auto count = std::min(analytics_pool.size(), q1(quota.excl_third));
+      for (std::size_t k = 0; k < count; ++k) {
+        specs[analytics_pool[rr % analytics_pool.size()]].sdk_leaks |=
+            privacy::mask_of(quota.type);
+        ++rr;
+      }
+    }
+  }
+  // Own-code leaks ride on the developer's own plugin payloads.
+  std::vector<std::size_t> own_pool = own_only_plain;
+  own_pool.insert(own_pool.end(), own_both_entity.begin(),
+                  own_both_entity.end());
+  if (!own_pool.empty()) {
+    std::size_t rr = 0;
+    // Settings own-leakers: 16,482 - 16,441 = 41.
+    for (std::size_t k = 0; k < std::min(own_pool.size(), q1(41)); ++k) {
+      specs[own_pool[rr++ % own_pool.size()]].own_leaks |=
+          privacy::mask_of(privacy::DataType::Settings);
+    }
+    for (const auto& quota : kPrivacyQuotas) {
+      const auto own_count = quota.total - quota.excl_third;
+      if (own_count <= 0) continue;
+      const auto count = std::min(own_pool.size(), q1(own_count));
+      for (std::size_t k = 0; k < count; ++k) {
+        specs[own_pool[rr++ % own_pool.size()]].own_leaks |=
+            privacy::mask_of(quota.type);
+      }
+    }
+  }
+
+  // ---- Obfuscation (Table VI / Fig. 3) ----------------------------------------
+  for (const auto i : anti_decomp) specs[i].anti_decompilation = true;
+  {
+    // Lexical & reflection quotas over the measurable population.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    rng.shuffle(all);
+    std::size_t lex = q(52836);
+    std::size_t refl = q(30664);
+    for (const auto i : all) {
+      if (specs[i].anti_decompilation) continue;
+      if (lex > 0) {
+        specs[i].lexical = true;
+        --lex;
+      }
+    }
+    rng.shuffle(all);
+    for (const auto i : all) {
+      if (specs[i].anti_decompilation) continue;
+      if (refl == 0) break;
+      specs[i].reflection = true;
+      --refl;
+    }
+  }
+  {
+    // DEX-encryption apps with Fig. 3 category weights; drawn from the
+    // DCL-free filler so packer loads are their only DCL.
+    double total_weight = 0;
+    for (const auto& w : kPackerCategories) total_weight += w.weight;
+    const auto packed = carve.take(q1(140));
+    // Largest-remainder category assignment so Fig. 3's dominance
+    // (Entertainment/Tools/Shopping) survives small scaled populations.
+    std::size_t assigned = 0;
+    double carried = 0;
+    for (const auto& w : kPackerCategories) {
+      carried += w.weight / total_weight * static_cast<double>(packed.size());
+      while (assigned < packed.size() &&
+             static_cast<double>(assigned) + 0.5 < carried) {
+        const auto i = packed[assigned++];
+        specs[i].dex_encryption = true;
+        specs[i].write_external_permission = true;  // keep Table II clean
+        specs[i].category = w.category;
+      }
+    }
+    while (assigned < packed.size()) {
+      const auto i = packed[assigned++];
+      specs[i].dex_encryption = true;
+      specs[i].write_external_permission = true;
+      specs[i].category = kPackerCategories[0].category;
+    }
+  }
+
+  // ---- Popularity (Table III) --------------------------------------------------
+  for (auto& spec : specs) {
+    // Multiplicative boosts reproduce the paper's orderings (DCL apps more
+    // popular; native-code apps dramatically so) without chasing Table III's
+    // absolute means, which are not internally consistent with the stated
+    // populations.
+    double median_downloads = 9000;
+    if (spec.any_dex_dcl_code()) median_downloads *= 2.2;
+    if (spec.any_native_code()) median_downloads *= 4.0;
+    spec.popularity.downloads = sample_count(rng, median_downloads, 1.0);
+    spec.popularity.rating_count = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               static_cast<double>(spec.popularity.downloads) *
+               (0.02 + 0.03 * rng.uniform())));
+    double rating = 3.70 + 0.25 * rng.uniform();
+    if (spec.any_dex_dcl_code()) rating += 0.12;
+    if (spec.any_native_code()) rating += 0.04;
+    spec.popularity.avg_rating = std::min(5.0, rating);
+  }
+  // Headline malware apps are popular (Table VII: 10M-download samples).
+  for (const auto i : malware_files) {
+    specs[i].popularity.downloads =
+        std::max<std::int64_t>(specs[i].popularity.downloads, 10'000'000);
+  }
+
+  // ---- Build -------------------------------------------------------------------
+  Corpus corpus;
+  corpus.config = config;
+  corpus.apps.reserve(n);
+  for (auto& spec : specs) {
+    auto app_rng = rng.fork();
+    corpus.apps.push_back(build_app(spec, app_rng));
+  }
+  return corpus;
+}
+
+}  // namespace dydroid::appgen

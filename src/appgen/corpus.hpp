@@ -1,0 +1,41 @@
+// Marketplace corpus generator calibrated to the paper's measured
+// population (58,739 Google-Play apps, Nov 2016). The `scale` factor
+// shrinks every quota proportionally (small counts are floored at 1 so each
+// table row stays populated); the benches print measured-vs-paper
+// percentages so the shape comparison is scale-free.
+//
+// The quotas below are the paper's numbers:
+//   Table II  dynamic-analysis outcomes        Table III popularity
+//   Table IV  responsible entity               Table V   remote fetch (27)
+//   Table VI  obfuscation adoption             Fig. 3    packer categories
+//   Table VII malware families (1/2/84 apps)   Table VIII trigger gates
+//   Table IX  vulnerable apps (7 + 7)          Table X   privacy tracking
+#pragma once
+
+#include <vector>
+
+#include "appgen/generator.hpp"
+
+namespace dydroid::appgen {
+
+struct CorpusConfig {
+  /// Fraction of the paper's 58,739-app population to generate.
+  double scale = 0.02;
+  std::uint64_t seed = 20161101;
+};
+
+struct Corpus {
+  CorpusConfig config;
+  std::vector<GeneratedApp> apps;
+};
+
+/// Play-store categories (the paper's data set spans 42).
+const std::vector<std::string>& play_categories();
+
+/// Generate the corpus. Deterministic in `config`.
+Corpus generate_corpus(const CorpusConfig& config);
+
+/// Scale from the DYDROID_SCALE environment variable, or `fallback`.
+double scale_from_env(double fallback = 0.02);
+
+}  // namespace dydroid::appgen

@@ -1,0 +1,23 @@
+// Compiles an AppSpec into a runnable SimApk plus its runtime scenario
+// (remote servers to host, companion apps to install).
+#pragma once
+
+#include "appgen/spec.hpp"
+#include "os/device.hpp"
+#include "support/rng.hpp"
+
+namespace dydroid::appgen {
+
+/// Build one app. Deterministic given (spec, rng state).
+GeneratedApp build_app(const AppSpec& spec, support::Rng& rng);
+
+/// Install an app's surroundings onto a device: host its URLs, install its
+/// companion packages.
+void apply_scenario(const Scenario& scenario, os::Device& device);
+
+/// Release timestamp baked into time-gated malware (ms since epoch); the
+/// default device clock sits after it, a "before release" Table VIII run
+/// sits before it.
+inline constexpr std::int64_t kReleaseTimeMs = 1'475'000'000'000;  // Sep 2016
+
+}  // namespace dydroid::appgen

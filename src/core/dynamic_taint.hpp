@@ -1,0 +1,43 @@
+// Dynamic taint tracking — the TaintDroid/Uranine-style alternative privacy
+// backend the paper's related work (§VI) contrasts with its static
+// approach. Values carry taint labels propagated by the interpreter;
+// privacy-source intrinsics attach labels, sink intrinsics report tainted
+// arguments. Dynamic tracking sees only *executed* flows (and, unlike
+// static analysis, follows them through reflection), while MiniFlowDroid
+// covers all code including never-executed branches — the trade-off
+// quantified by bench/ablation_taint_backends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "privacy/sources.hpp"
+#include "vm/vm.hpp"
+
+namespace dydroid::core {
+
+struct DynamicLeak {
+  privacy::TaintMask mask = 0;
+  std::string sink_api;          // "cls.method"
+  std::string call_site_class;   // first non-framework frame at the sink
+};
+
+class DynamicTaintTracker {
+ public:
+  /// Install taint source/sink hooks on `vm`. Composes with previously
+  /// installed on_intrinsic_call/taint_source hooks (chains them).
+  explicit DynamicTaintTracker(vm::Vm& vm);
+  DynamicTaintTracker(const DynamicTaintTracker&) = delete;
+  DynamicTaintTracker& operator=(const DynamicTaintTracker&) = delete;
+
+  [[nodiscard]] const std::vector<DynamicLeak>& leaks() const {
+    return leaks_;
+  }
+  [[nodiscard]] privacy::TaintMask leaked_mask() const;
+
+ private:
+  vm::Vm* vm_;
+  std::vector<DynamicLeak> leaks_;
+};
+
+}  // namespace dydroid::core

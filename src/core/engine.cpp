@@ -1,0 +1,54 @@
+#include "core/engine.hpp"
+
+#include "support/log.hpp"
+
+namespace dydroid::core {
+namespace {
+
+RunResult run_once(os::Device& device, const apk::ApkFile& apk,
+                   const manifest::Manifest& manifest, support::Rng& rng,
+                   const EngineConfig& config) {
+  RunResult result;
+  vm::AppContext app;
+  app.manifest = manifest;
+  vm::Vm vm(device, std::move(app), config.limits);
+  const auto loaded = vm.load_app(apk);
+  if (!loaded) {
+    result.monkey.outcome = monkey::Outcome::kCrash;
+    result.monkey.crash_message = loaded.error();
+    return result;
+  }
+  CodeInterceptor interceptor(vm);
+  result.monkey = monkey::run_monkey(vm, config.monkey, rng);
+  result.events = interceptor.events();
+  result.binaries = interceptor.binaries();
+  result.tracker = interceptor.tracker();
+  result.blocked_mutations = interceptor.blocked_mutations();
+  result.vm_events = vm.events();
+  return result;
+}
+
+}  // namespace
+
+RunResult run_app(os::Device& device, const apk::ApkFile& apk,
+                  const manifest::Manifest& manifest, support::Rng& rng,
+                  const EngineConfig& config) {
+  auto result = run_once(device, apk, manifest, rng, config);
+  if (result.monkey.outcome == monkey::Outcome::kCrash &&
+      result.monkey.crash_message.find("storage full") != std::string::npos) {
+    // Automatic recovery: clear the app's cache (odex staging and ad
+    // payload caches dominate usage) and retry once.
+    const auto sys = os::Principal::system();
+    const auto cache = os::internal_storage_dir(manifest.package) + "/cache";
+    for (const auto& path : device.vfs().list_dir(cache)) {
+      (void)device.vfs().delete_file(sys, path);
+    }
+    support::log_info("engine", "storage full: cleared cache for " +
+                                    manifest.package + ", retrying");
+    result = run_once(device, apk, manifest, rng, config);
+    result.storage_recovered = true;
+  }
+  return result;
+}
+
+}  // namespace dydroid::core

@@ -1,0 +1,176 @@
+#include "core/pipeline.hpp"
+
+#include "analysis/decompiler.hpp"
+#include "analysis/rewriter.hpp"
+#include "support/log.hpp"
+
+namespace dydroid::core {
+
+void RuntimeConfig::apply(os::SystemServices& services) const {
+  if (time_ms.has_value()) services.set_time_ms(*time_ms);
+  services.set_airplane_mode(airplane_mode);
+  services.set_wifi_enabled(wifi_enabled);
+  services.set_location_enabled(location_enabled);
+}
+
+std::string_view dynamic_status_name(DynamicStatus status) {
+  switch (status) {
+    case DynamicStatus::kNotRun: return "not-run";
+    case DynamicStatus::kRewritingFailure: return "rewriting-failure";
+    case DynamicStatus::kNoActivity: return "no-activity";
+    case DynamicStatus::kCrash: return "crash";
+    case DynamicStatus::kExercised: return "exercised";
+  }
+  return "?";
+}
+
+bool AppReport::intercepted(CodeKind kind) const {
+  for (const auto& b : binaries) {
+    if (b.binary.kind == kind) return true;
+  }
+  return false;
+}
+
+AppReport::EntityUse AppReport::entity_use(CodeKind kind) const {
+  EntityUse use;
+  for (const auto& event : events) {
+    if (event.kind != kind || event.system_binary) continue;
+    if (event.entity == Entity::Own) {
+      use.own = true;
+    } else {
+      use.third_party = true;
+    }
+  }
+  return use;
+}
+
+std::vector<const BinaryReport*> AppReport::remote_loaded() const {
+  std::vector<const BinaryReport*> out;
+  for (const auto& b : binaries) {
+    if (b.origin_url.has_value()) out.push_back(&b);
+  }
+  return out;
+}
+
+std::vector<const BinaryReport*> AppReport::malware_loaded() const {
+  std::vector<const BinaryReport*> out;
+  for (const auto& b : binaries) {
+    if (b.malware.has_value()) out.push_back(&b);
+  }
+  return out;
+}
+
+DyDroid::DyDroid(PipelineOptions options) : options_(std::move(options)) {}
+
+AppReport DyDroid::analyze(std::span<const std::uint8_t> apk_bytes,
+                           std::uint64_t seed) {
+  AppReport report;
+
+  // ---- Static phase --------------------------------------------------------
+  auto ir = analysis::decompile(apk_bytes);
+  if (!ir.ok()) {
+    report.decompile_failed = true;
+    report.obfuscation.anti_decompilation = true;
+    return report;
+  }
+  const auto& decompiled = ir.value();
+  report.package = decompiled.manifest.package;
+  report.min_sdk = decompiled.manifest.min_sdk;
+  report.obfuscation = obfuscation::analyze_obfuscation(decompiled);
+  if (decompiled.classes_dex.has_value()) {
+    report.static_dcl = scan_dcl_apis(*decompiled.classes_dex);
+  }
+
+  if (!options_.dynamic_analysis || !report.static_dcl.any()) {
+    return report;  // DCL-free apps are not exercised (paper §V-A)
+  }
+
+  // ---- Rewriting -----------------------------------------------------------
+  // The measurement log lives on external storage; inject the permission if
+  // missing. Anti-repackaging apps crash the (strict) repacker here.
+  support::Bytes rewritten;
+  std::span<const std::uint8_t> bytes_to_run = apk_bytes;
+  if (!decompiled.manifest.has_permission(manifest::kWriteExternalStorage)) {
+    auto result = analysis::rewrite_with_permission(
+        apk_bytes, manifest::kWriteExternalStorage);
+    if (!result.ok()) {
+      report.status = DynamicStatus::kRewritingFailure;
+      report.crash_message = result.error();
+      return report;
+    }
+    rewritten = std::move(result).take();
+    bytes_to_run = rewritten;
+  }
+
+  // ---- Dynamic phase -------------------------------------------------------
+  os::Device device(options_.device);
+  if (options_.scenario_setup) options_.scenario_setup(device);
+  options_.runtime.apply(device.services());
+
+  apk::ApkFile apk;
+  try {
+    apk = apk::ApkFile::deserialize(bytes_to_run, apk::ParseMode::kLenient);
+  } catch (const support::ParseError& e) {
+    report.status = DynamicStatus::kCrash;
+    report.crash_message = e.what();
+    return report;
+  }
+  auto man = apk.read_manifest();
+  if (const auto installed = device.install(apk); !installed) {
+    report.status = DynamicStatus::kCrash;
+    report.crash_message = installed.error();
+    return report;
+  }
+
+  support::Rng rng(seed);
+  auto run = run_app(device, apk, man, rng, options_.engine);
+  report.storage_recovered = run.storage_recovered;
+  report.crash_message = run.monkey.crash_message;
+  switch (run.monkey.outcome) {
+    case monkey::Outcome::kNoActivity:
+      report.status = DynamicStatus::kNoActivity;
+      break;
+    case monkey::Outcome::kCrash:
+      report.status = DynamicStatus::kCrash;
+      break;
+    case monkey::Outcome::kExercised:
+      report.status = DynamicStatus::kExercised;
+      break;
+  }
+  report.events = std::move(run.events);
+  report.vm_events = std::move(run.vm_events);
+
+  // ---- Per-binary analyses -------------------------------------------------
+  for (auto& binary : run.binaries) {
+    BinaryReport br;
+    br.origin_url = run.tracker.origin_url(binary.path);
+    if (options_.detector != nullptr) {
+      br.malware = options_.detector->scan(binary.bytes);
+    }
+    if (binary.kind == CodeKind::Dex) {
+      try {
+        if (dex::looks_like_dex(binary.bytes)) {
+          br.privacy =
+              privacy::analyze_privacy(dex::DexFile::deserialize(binary.bytes));
+        } else if (apk::looks_like_apk(binary.bytes)) {
+          const auto pkg = apk::ApkFile::deserialize(binary.bytes);
+          if (auto inner = pkg.read_classes_dex()) {
+            br.privacy = privacy::analyze_privacy(*inner);
+          }
+        }
+      } catch (const support::ParseError& e) {
+        support::log_warn("pipeline",
+                          std::string("privacy: unparsable binary: ") +
+                              e.what());
+      }
+    }
+    br.binary = std::move(binary);
+    report.binaries.push_back(std::move(br));
+  }
+
+  report.vulns =
+      analyze_vulnerabilities(report.events, report.package, report.min_sdk);
+  return report;
+}
+
+}  // namespace dydroid::core

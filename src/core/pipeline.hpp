@@ -1,0 +1,108 @@
+// The DyDroid pipeline (Figure 1): decompile → static DCL filter →
+// obfuscation analysis → (rewrite if needed) → dynamic analysis with
+// interception → provenance/entity identification → malware detection →
+// privacy tracking → vulnerability analysis. One call per app; the whole
+// measurement (Section V) is this pipeline mapped over a corpus.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/engine.hpp"
+#include "core/static_filter.hpp"
+#include "core/vulnerability.hpp"
+#include "malware/droidnative.hpp"
+#include "obfuscation/detector.hpp"
+#include "privacy/flowdroid.hpp"
+
+namespace dydroid::core {
+
+/// Runtime-environment knobs (paper Table VIII configurations).
+struct RuntimeConfig {
+  std::optional<std::int64_t> time_ms;  // e.g. before the app release date
+  bool airplane_mode = false;
+  bool wifi_enabled = true;
+  bool location_enabled = true;
+
+  void apply(os::SystemServices& services) const;
+};
+
+struct PipelineOptions {
+  EngineConfig engine;
+  os::DeviceConfig device;
+  RuntimeConfig runtime;
+  /// Prepares the device before install: hosts remote payloads, installs
+  /// companion apps, pre-places files (the app's real-world surroundings).
+  std::function<void(os::Device&)> scenario_setup;
+  /// Trained malware detector; null disables malware scanning.
+  const malware::DroidNative* detector = nullptr;
+  /// Skip the dynamic phase (static-only measurement).
+  bool dynamic_analysis = true;
+};
+
+enum class DynamicStatus {
+  kNotRun,            // filtered out (no DCL code) or static-only mode
+  kRewritingFailure,  // apktool-crash during permission injection (Table II)
+  kNoActivity,        // Monkey cannot exercise (Table II)
+  kCrash,             // app crashed at runtime (Table II)
+  kExercised,         // fuzzed to completion (Table II)
+};
+
+std::string_view dynamic_status_name(DynamicStatus status);
+
+/// Per-intercepted-binary analysis results.
+struct BinaryReport {
+  InterceptedBinary binary;
+  std::optional<std::string> origin_url;  // remote provenance
+  std::optional<malware::Detection> malware;
+  privacy::PrivacyReport privacy;  // DEX binaries only
+};
+
+struct AppReport {
+  std::string package;
+
+  // Static phase.
+  bool decompile_failed = false;  // anti-decompilation (tool crash)
+  StaticFilterResult static_dcl;
+  obfuscation::ObfuscationReport obfuscation;
+  int min_sdk = 0;
+
+  // Dynamic phase.
+  DynamicStatus status = DynamicStatus::kNotRun;
+  std::string crash_message;
+  bool storage_recovered = false;
+  std::vector<DclEvent> events;
+  std::vector<BinaryReport> binaries;
+  std::vector<vm::VmEvent> vm_events;
+  std::vector<VulnFinding> vulns;
+
+  // Convenience queries -----------------------------------------------------
+  [[nodiscard]] bool intercepted(CodeKind kind) const;
+  /// Entities observed launching DCL of a kind: {own, third_party}.
+  struct EntityUse {
+    bool own = false;
+    bool third_party = false;
+  };
+  [[nodiscard]] EntityUse entity_use(CodeKind kind) const;
+  /// Binaries whose content arrived from the network (policy violations).
+  [[nodiscard]] std::vector<const BinaryReport*> remote_loaded() const;
+  [[nodiscard]] std::vector<const BinaryReport*> malware_loaded() const;
+};
+
+class DyDroid {
+ public:
+  explicit DyDroid(PipelineOptions options = {});
+
+  /// Analyze one APK end to end. `seed` drives the fuzzing determinism.
+  AppReport analyze(std::span<const std::uint8_t> apk_bytes,
+                    std::uint64_t seed);
+
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+  [[nodiscard]] PipelineOptions& options() { return options_; }
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace dydroid::core

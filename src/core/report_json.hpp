@@ -1,0 +1,20 @@
+// JSON serialization of AppReport — the artifact a measurement campaign
+// stores per app (the paper's equivalent of its analysis logs on external
+// storage). Hand-rolled writer: no third-party JSON dependency.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace dydroid::core {
+
+/// Render a full per-app report as a JSON object (pretty-printed, stable
+/// key order). Binary payload bytes are summarized (size + FNV hash), not
+/// embedded.
+std::string report_to_json(const AppReport& report);
+
+/// Escape a string for inclusion in a JSON literal.
+std::string json_escape(std::string_view s);
+
+}  // namespace dydroid::core

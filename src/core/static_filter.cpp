@@ -1,0 +1,32 @@
+#include "core/static_filter.hpp"
+
+namespace dydroid::core {
+
+StaticFilterResult scan_dcl_apis(const dex::DexFile& dex) {
+  StaticFilterResult result;
+  for (const auto& cls : dex.classes()) {
+    for (const auto& m : cls.methods) {
+      if (m.is_native()) result.native_dcl = true;
+      for (const auto& ins : m.code) {
+        const bool names_class =
+            ins.op == dex::Op::NewInstance || ins.is_invoke();
+        if (!names_class) continue;
+        const auto& target = dex.string_at(ins.cls);
+        if (target == "dalvik.system.DexClassLoader" ||
+            target == "dalvik.system.PathClassLoader") {
+          result.dex_dcl = true;
+        }
+        if (ins.is_invoke() &&
+            (target == "java.lang.System" || target == "java.lang.Runtime")) {
+          const auto& name = dex.string_at(ins.name);
+          if (name == "load" || name == "loadLibrary" || name == "load0") {
+            result.native_dcl = true;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dydroid::core

@@ -1,0 +1,21 @@
+// Static filter (Figure 1, first stage): checks the decompiled IR for the
+// *existence* of DCL-related code — class-loader construction for DEX,
+// JNI load APIs for native — without verifying reachability. Apps with no
+// DCL code are never exercised dynamically ("We try to avoid blindly
+// exercising app[s], given the heavy cost of dynamic analysis").
+#pragma once
+
+#include "dex/dexfile.hpp"
+
+namespace dydroid::core {
+
+struct StaticFilterResult {
+  bool dex_dcl = false;     // creates DexClassLoader/PathClassLoader
+  bool native_dcl = false;  // invokes load()/loadLibrary()/load0()
+
+  [[nodiscard]] bool any() const { return dex_dcl || native_dcl; }
+};
+
+StaticFilterResult scan_dcl_apis(const dex::DexFile& dex);
+
+}  // namespace dydroid::core

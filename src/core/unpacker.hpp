@@ -1,0 +1,26 @@
+// Runtime unpacker — the DexHunter/AppSpear analogue (paper §VI refs
+// [64, 67]: "bytecode decrypting and dex reassembling for packed android
+// malware"). Packed apps defeat static analysis, but the container must
+// hand the VM real bytecode eventually; running the app under DyDroid's
+// interceptor captures the decrypted dex, from which the original APK is
+// reassembled: original classes.dex restored, container artifacts dropped,
+// android:name cleared.
+#pragma once
+
+#include "apk/apk.hpp"
+#include "support/error.hpp"
+
+namespace dydroid::core {
+
+struct UnpackResult {
+  apk::ApkFile apk;          // reassembled, analyzable package
+  std::string payload_path;  // where the decrypted dex was intercepted
+};
+
+/// Run the packed app in a sandbox, intercept the decrypted bytecode and
+/// reassemble the original APK. Fails when the app is not recognized as
+/// packed, cannot be exercised, or never loads a recoverable dex payload.
+support::Result<UnpackResult> unpack_packed_app(
+    std::span<const std::uint8_t> packed_apk, std::uint64_t seed = 1);
+
+}  // namespace dydroid::core

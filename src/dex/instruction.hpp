@@ -1,0 +1,119 @@
+// SimDex instruction set.
+//
+// A register-based bytecode modelled on Dalvik: each method owns a register
+// file v0..v(N-1); method parameters arrive in v0..v(P-1) (v0 = `this` for
+// instance methods). Branch targets are absolute instruction indices within
+// the method body (the assembler resolves labels).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dydroid::dex {
+
+enum class Op : std::uint8_t {
+  Nop = 0,
+  ConstInt,    // vA <- imm
+  ConstStr,    // vA <- strings[name]
+  Move,        // vA <- vB
+  MoveResult,  // vA <- invoke result register
+  Add,         // vA <- vB + vC (int)
+  Sub,         // vA <- vB - vC
+  Mul,         // vA <- vB * vC
+  Div,         // vA <- vB / vC (throws on zero)
+  Rem,         // vA <- vB % vC (throws on zero)
+  Concat,      // vA <- str(vB) + str(vC)
+  CmpEq,       // vA <- (vB == vC) ? 1 : 0  (int or string compare)
+  CmpLt,       // vA <- (vB < vC) ? 1 : 0   (int compare)
+  IfEqz,       // if int(vA) == 0 goto target
+  IfNez,       // if int(vA) != 0 goto target
+  Goto,        // goto target
+  NewInstance,    // vA <- new instance of class strings[cls] (ctor NOT run)
+  InvokeStatic,   // strings[cls].strings[name](v args...)
+  InvokeVirtual,  // receiver = v args[0]; dispatch on its dynamic class
+  IGet,           // vA <- vB.fields[strings[name]]
+  IPut,           // vB.fields[strings[name]] <- vA
+  SGet,           // vA <- static field strings[cls].strings[name]
+  SPut,           // static field strings[cls].strings[name] <- vA
+  Return,      // return vA
+  ReturnVoid,  // return
+  Throw,       // throw exception with message str(vA)
+  TryEnter,    // push handler: on exception, vA <- message, jump target
+  TryExit,     // pop the innermost handler
+};
+
+/// Number of distinct opcodes (for table sizing / validation).
+constexpr int kOpCount = static_cast<int>(Op::TryExit) + 1;
+
+/// Human-readable mnemonic.
+std::string_view op_name(Op op);
+
+/// Max explicit invoke arguments (in addition to nothing; receiver counts).
+constexpr std::size_t kMaxInvokeArgs = 8;
+
+/// One decoded instruction. Fields are interpreted per-op as documented in
+/// the Op enum; unused fields are zero.
+struct Instruction {
+  Op op = Op::Nop;
+  std::uint16_t a = 0;  // destination / tested register
+  std::uint16_t b = 0;  // first source register
+  std::uint16_t c = 0;  // second source register
+  std::int32_t target = 0;   // absolute branch target (instruction index)
+  std::int64_t imm = 0;      // ConstInt immediate
+  std::uint32_t cls = 0;     // string index: class name (invokes, fields, new)
+  std::uint32_t name = 0;    // string index: method/field/string payload
+  std::uint8_t argc = 0;     // invoke argument count
+  std::array<std::uint16_t, kMaxInvokeArgs> args{};  // invoke argument registers
+
+  [[nodiscard]] bool is_branch() const {
+    return op == Op::IfEqz || op == Op::IfNez || op == Op::Goto;
+  }
+  /// Instructions carrying a branch target (branches + handler entries).
+  [[nodiscard]] bool has_target() const {
+    return is_branch() || op == Op::TryEnter;
+  }
+  [[nodiscard]] bool is_invoke() const {
+    return op == Op::InvokeStatic || op == Op::InvokeVirtual;
+  }
+  [[nodiscard]] bool is_terminator() const {
+    return op == Op::Return || op == Op::ReturnVoid || op == Op::Throw ||
+           op == Op::Goto;
+  }
+};
+
+inline std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::Nop: return "nop";
+    case Op::ConstInt: return "const-int";
+    case Op::ConstStr: return "const-str";
+    case Op::Move: return "move";
+    case Op::MoveResult: return "move-result";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Div: return "div";
+    case Op::Rem: return "rem";
+    case Op::Concat: return "concat";
+    case Op::CmpEq: return "cmp-eq";
+    case Op::CmpLt: return "cmp-lt";
+    case Op::IfEqz: return "if-eqz";
+    case Op::IfNez: return "if-nez";
+    case Op::Goto: return "goto";
+    case Op::NewInstance: return "new-instance";
+    case Op::InvokeStatic: return "invoke-static";
+    case Op::InvokeVirtual: return "invoke-virtual";
+    case Op::IGet: return "iget";
+    case Op::IPut: return "iput";
+    case Op::SGet: return "sget";
+    case Op::SPut: return "sput";
+    case Op::Return: return "return";
+    case Op::ReturnVoid: return "return-void";
+    case Op::Throw: return "throw";
+    case Op::TryEnter: return "try-enter";
+    case Op::TryExit: return "try-exit";
+  }
+  return "invalid";
+}
+
+}  // namespace dydroid::dex

@@ -1,0 +1,66 @@
+// AndroidManifest analogue. Declares the app package, components,
+// permissions, minimum SDK and the optional application container class
+// (android:name) — everything DyDroid's obfuscation rules and the rewriter
+// read or modify.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace dydroid::manifest {
+
+enum class ComponentKind : std::uint8_t {
+  Activity = 0,
+  Service = 1,
+  Receiver = 2,
+  Provider = 3,
+};
+
+std::string_view component_kind_name(ComponentKind kind);
+
+struct Component {
+  ComponentKind kind = ComponentKind::Activity;
+  std::string name;       // fully qualified class name
+  bool launcher = false;  // MAIN/LAUNCHER intent filter (activities only)
+};
+
+/// Permission strings mirrored from Android.
+inline constexpr std::string_view kWriteExternalStorage =
+    "android.permission.WRITE_EXTERNAL_STORAGE";
+inline constexpr std::string_view kInternet = "android.permission.INTERNET";
+inline constexpr std::string_view kReadPhoneState =
+    "android.permission.READ_PHONE_STATE";
+inline constexpr std::string_view kAccessFineLocation =
+    "android.permission.ACCESS_FINE_LOCATION";
+inline constexpr std::string_view kReadContacts =
+    "android.permission.READ_CONTACTS";
+inline constexpr std::string_view kSendSms = "android.permission.SEND_SMS";
+inline constexpr std::string_view kGetAccounts =
+    "android.permission.GET_ACCOUNTS";
+
+struct Manifest {
+  std::string package;           // e.g. "com.example.game"
+  std::string version_name = "1.0";
+  int min_sdk = 19;              // API level; < 19 means pre-Android 4.4
+  std::string application_name;  // android:name attr; "" = default Application
+  std::vector<std::string> permissions;
+  std::vector<Component> components;
+
+  [[nodiscard]] bool has_permission(std::string_view permission) const;
+  void add_permission(std::string_view permission);  // idempotent
+  [[nodiscard]] const Component* launcher_activity() const;
+  [[nodiscard]] bool has_component(std::string_view class_name) const;
+
+  /// Serialize to the XML-ish text form stored in the SimApk.
+  [[nodiscard]] std::string to_text() const;
+  /// Parse; throws support::ParseError on malformed text.
+  static Manifest from_text(std::string_view text);
+};
+
+}  // namespace dydroid::manifest

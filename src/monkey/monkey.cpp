@@ -1,0 +1,107 @@
+#include "monkey/monkey.hpp"
+
+#include "support/log.hpp"
+
+namespace dydroid::monkey {
+
+using manifest::ComponentKind;
+using vm::ObjRef;
+using vm::Value;
+using vm::VmException;
+
+std::string_view outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kNoActivity: return "no-activity";
+    case Outcome::kCrash: return "crash";
+    case Outcome::kExercised: return "exercised";
+  }
+  return "?";
+}
+
+MonkeyResult run_monkey(vm::Vm& vm, const MonkeyConfig& config,
+                        support::Rng& rng) {
+  MonkeyResult result;
+  const auto& man = vm.app().manifest;
+
+  const auto* launcher = man.launcher_activity();
+  if (launcher == nullptr) {
+    result.outcome = Outcome::kNoActivity;
+    return result;
+  }
+
+  try {
+    // 1. Application container boots before any component (the packer
+    //    pattern relies on this ordering).
+    if (!man.application_name.empty()) {
+      auto container = vm.instantiate(man.application_name);
+      if (vm.has_method(container, "onCreate")) {
+        (void)vm.call_method(container, "onCreate");
+      }
+    }
+
+    // 2. Launch the main activity.
+    auto activity = vm.instantiate(launcher->name);
+    if (vm.has_method(activity, "onCreate")) {
+      (void)vm.call_method(activity, "onCreate");
+    }
+
+    // 3. Instantiate secondary components once so their entry points are
+    //    reachable by later events.
+    std::vector<ObjRef> services;
+    std::vector<ObjRef> receivers;
+    for (const auto& comp : man.components) {
+      if (comp.name == launcher->name) continue;
+      switch (comp.kind) {
+        case ComponentKind::Service:
+          services.push_back(vm.instantiate(comp.name));
+          break;
+        case ComponentKind::Receiver:
+          receivers.push_back(vm.instantiate(comp.name));
+          break;
+        default:
+          break;
+      }
+    }
+
+    // 4. Fuzz loop.
+    for (int i = 0; i < config.num_events; ++i) {
+      const auto roll = rng.below(100);
+      if (roll < 60) {
+        if (vm.has_method(activity, "onClick")) {
+          (void)vm.call_method(
+              activity, "onClick",
+              {Value(static_cast<std::int64_t>(
+                  rng.below(static_cast<std::uint64_t>(config.num_view_ids))))});
+        }
+      } else if (roll < 70) {
+        if (vm.has_method(activity, "onResume")) {
+          (void)vm.call_method(activity, "onResume");
+        }
+      } else if (roll < 80) {
+        if (vm.has_method(activity, "onPause")) {
+          (void)vm.call_method(activity, "onPause");
+        }
+      } else if (roll < 90 && !services.empty()) {
+        const auto& svc = services[rng.below(services.size())];
+        if (vm.has_method(svc, "onStartCommand")) {
+          (void)vm.call_method(svc, "onStartCommand");
+        }
+      } else if (!receivers.empty()) {
+        const auto& rcv = receivers[rng.below(receivers.size())];
+        if (vm.has_method(rcv, "onReceive")) {
+          (void)vm.call_method(rcv, "onReceive");
+        }
+      }
+      ++result.events_delivered;
+    }
+  } catch (const VmException& e) {
+    result.outcome = Outcome::kCrash;
+    result.crash_message = e.what();
+    return result;
+  }
+
+  result.outcome = Outcome::kExercised;
+  return result;
+}
+
+}  // namespace dydroid::monkey

@@ -1,0 +1,165 @@
+#include "obfuscation/language_db.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "support/strings.hpp"
+
+namespace dydroid::obfuscation {
+namespace {
+
+// A compact English core vocabulary skewed toward software identifiers —
+// the offline stand-in for the paper's DBpedia dump.
+constexpr const char* kWords[] = {
+    "action",   "activity", "adapter",  "add",      "address",  "alarm",
+    "album",    "alert",    "analytics","anim",     "api",      "app",
+    "apply",    "archive",  "audio",    "auth",     "avatar",   "background",
+    "backup",   "badge",    "banner",   "base",     "battery",  "bind",
+    "bitmap",   "block",    "board",    "body",     "book",     "bookmark",
+    "boot",     "bridge",   "browser",  "buffer",   "build",    "builder",
+    "bundle",   "button",   "cache",    "calendar", "call",     "camera",
+    "cancel",   "card",     "cart",     "catalog",  "category", "cell",
+    "center",   "chain",    "channel",  "chart",    "chat",     "check",
+    "child",    "choice",   "chooser",  "class",    "clean",    "clear",
+    "click",    "client",   "clip",     "clock",    "close",    "cloud",
+    "code",     "collect",  "color",    "column",   "command",  "comment",
+    "commit",   "common",   "compare",  "compat",   "compute",  "config",
+    "confirm",  "connect",  "contact",  "container","content",  "context",
+    "control",  "convert",  "cookie",   "copy",     "core",     "count",
+    "counter",  "cover",    "create",   "crop",     "current",  "cursor",
+    "custom",   "daily",    "dash",     "data",     "database", "date",
+    "debug",    "decode",   "default",  "delete",   "design",   "detail",
+    "device",   "dialog",   "digest",   "dir",      "disable",  "dispatch",
+    "display",  "document", "down",     "download", "draft",    "drag",
+    "draw",     "drawer",   "drive",    "driver",   "drop",     "edit",
+    "editor",   "effect",   "empty",    "enable",   "encode",   "engine",
+    "enter",    "entry",    "error",    "event",    "exit",     "expand",
+    "export",   "extra",    "fade",     "fail",     "favorite", "feed",
+    "fetch",    "field",    "file",     "fill",     "filter",   "find",
+    "finish",   "first",    "flag",     "flash",    "flight",   "float",
+    "flow",     "focus",    "folder",   "font",     "food",     "form",
+    "format",   "forward",  "fragment", "frame",    "free",     "friend",
+    "front",    "full",     "game",     "gallery",  "get",      "gift",
+    "global",   "goal",     "grid",     "group",    "guide",    "handle",
+    "handler",  "hash",     "head",     "header",   "health",   "help",
+    "helper",   "hide",     "history",  "holder",   "home",     "host",
+    "hour",     "icon",     "image",    "import",   "inbox",    "index",
+    "info",     "init",     "input",    "insert",   "install",  "instance",
+    "intent",   "interface","invite",   "item",     "job",      "join",
+    "key",      "keyboard", "label",    "language", "last",     "launch",
+    "launcher", "layer",    "layout",   "left",     "level",    "library",
+    "light",    "like",     "line",     "link",     "list",     "listener",
+    "load",     "loader",   "local",    "location", "lock",     "log",
+    "login",    "logout",   "loop",     "main",     "manager",  "map",
+    "mark",     "market",   "match",    "media",    "member",   "memory",
+    "menu",     "merge",    "message",  "meta",     "method",   "metric",
+    "mini",     "mode",     "model",    "module",   "monitor",  "month",
+    "move",     "movie",    "music",    "mute",     "name",     "native",
+    "network",  "news",     "next",     "night",    "node",     "note",
+    "notify",   "number",   "object",   "offer",    "offline",  "offset",
+    "online",   "open",     "option",   "order",    "output",   "overlay",
+    "owner",    "pack",     "package",  "page",     "pager",    "paint",
+    "pair",     "panel",    "parent",   "parse",    "parser",   "password",
+    "path",     "pause",    "pay",      "payment",  "peer",     "pending",
+    "phone",    "photo",    "picker",   "picture",  "pin",      "play",
+    "player",   "plugin",   "point",    "poll",     "pool",     "popup",
+    "post",     "prefer",   "preview",  "price",    "print",    "process",
+    "product",  "profile",  "progress", "project",  "prompt",   "provider",
+    "proxy",    "publish",  "pull",     "push",     "query",    "queue",
+    "quick",    "radio",    "random",   "range",    "rank",     "rate",
+    "rating",   "read",     "reader",   "ready",    "receive",  "receiver",
+    "recent",   "record",   "recycle",  "redo",     "refresh",  "region",
+    "register", "release",  "reload",   "remote",   "remove",   "rename",
+    "render",   "repeat",   "replace",  "reply",    "report",   "request",
+    "reset",    "resize",   "resolve",  "resource", "response", "restart",
+    "restore",  "result",   "resume",   "retry",    "review",   "reward",
+    "right",    "ring",     "root",     "rotate",   "route",    "router",
+    "row",      "rule",     "run",      "runner",   "save",     "scale",
+    "scan",     "scanner",  "schedule", "scheme",   "score",    "screen",
+    "script",   "scroll",   "search",   "second",   "section",  "secure",
+    "seek",     "select",   "send",     "sender",   "sensor",   "server",
+    "service",  "session",  "set",      "setting",  "settings", "setup",
+    "shadow",   "share",    "sheet",    "shell",    "shop",     "show",
+    "sign",     "signal",   "simple",   "single",   "size",     "sketch",
+    "skip",     "sleep",    "slide",    "slider",   "small",    "smart",
+    "social",   "socket",   "sort",     "sound",    "source",   "space",
+    "span",     "speed",    "spinner",  "splash",   "split",    "sport",
+    "stack",    "stage",    "star",     "start",    "state",    "station",
+    "status",   "step",     "stock",    "stop",     "storage",  "store",
+    "story",    "stream",   "string",   "strip",    "style",    "submit",
+    "sub",      "success",  "suggest",  "summary",  "support",  "swap",
+    "swipe",    "switch",   "sync",     "system",   "tab",      "table",
+    "tag",      "target",   "task",     "team",     "template", "test",
+    "text",     "theme",    "thread",   "thumb",    "ticket",   "tile",
+    "time",     "timer",    "title",    "toast",    "toggle",   "token",
+    "tool",     "toolbar",  "top",      "topic",    "total",    "touch",
+    "track",    "tracker",  "traffic",  "train",    "transfer", "translate",
+    "trash",    "travel",   "trend",    "trigger",  "trim",     "type",
+    "undo",     "unit",     "unlock",   "unpack",   "update",   "upload",
+    "user",     "util",     "utils",    "validate", "value",    "verify",
+    "version",  "video",    "view",     "viewer",   "visit",    "voice",
+    "volume",   "wait",     "walk",     "wallet",   "watch",    "weather",
+    "web",      "week",     "widget",   "window",   "word",     "work",
+    "worker",   "world",    "wrap",     "wrapper",  "write",    "writer",
+    "zone",     "zoom",
+};
+
+const std::unordered_set<std::string>& word_set() {
+  static const auto* set = [] {
+    auto* s = new std::unordered_set<std::string>();
+    for (const auto* w : kWords) s->insert(w);
+    return s;
+  }();
+  return *set;
+}
+
+}  // namespace
+
+bool is_dictionary_word(std::string_view word) {
+  return word_set().count(support::to_lower(word)) != 0;
+}
+
+const std::vector<std::string>& dictionary_words() {
+  static const auto* words = [] {
+    auto* v = new std::vector<std::string>();
+    for (const auto* w : kWords) v->emplace_back(w);
+    return v;
+  }();
+  return *words;
+}
+
+std::vector<std::string> split_identifier(std::string_view identifier) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(support::to_lower(current));
+      current.clear();
+    }
+  };
+  for (const char c : identifier) {
+    if (c == '_' || c == '$' || std::isdigit(static_cast<unsigned char>(c))) {
+      flush();
+    } else if (std::isupper(static_cast<unsigned char>(c))) {
+      flush();
+      current.push_back(c);
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+double dictionary_ratio(std::string_view identifier) {
+  const auto words = split_identifier(identifier);
+  if (words.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& w : words) {
+    if (is_dictionary_word(w)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(words.size());
+}
+
+}  // namespace dydroid::obfuscation

@@ -1,0 +1,27 @@
+// Language database — the DBpedia/Wikipedia-derived word list substitute.
+// The lexical-obfuscation detector compares identifier words against this
+// dictionary; AppGen draws class/method/field names from it so that
+// unobfuscated apps read as natural language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dydroid::obfuscation {
+
+/// True if `word` (case-insensitive) is in the dictionary.
+bool is_dictionary_word(std::string_view word);
+
+/// All dictionary words (lowercase), for name generation.
+const std::vector<std::string>& dictionary_words();
+
+/// Split an identifier into words on camelCase humps, digits and
+/// underscores: "updateCacheDir2" -> {"update", "cache", "dir"}.
+std::vector<std::string> split_identifier(std::string_view identifier);
+
+/// Fraction of an identifier's words found in the dictionary (0 when the
+/// identifier yields no alphabetic words).
+double dictionary_ratio(std::string_view identifier);
+
+}  // namespace dydroid::obfuscation

@@ -1,0 +1,143 @@
+#include "obfuscation/lexical.hpp"
+
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace dydroid::obfuscation {
+namespace {
+
+/// a, b, ..., z, aa, ab, ... — ProGuard's scheme.
+std::string short_name(std::size_t index) {
+  std::string out;
+  do {
+    out.insert(out.begin(), static_cast<char>('a' + index % 26));
+    index = index / 26;
+  } while (index-- > 0);
+  return out;
+}
+
+}  // namespace
+
+const std::set<std::string>& lifecycle_methods() {
+  static const std::set<std::string> kKeep = {
+      "<init>",     "onCreate",  "onClick",        "onResume",
+      "onPause",    "onDestroy", "onStartCommand", "onReceive",
+      "onStart",    "run",       "main",
+  };
+  return kKeep;
+}
+
+dex::DexFile rename_identifiers(const dex::DexFile& dex,
+                                const manifest::Manifest& manifest) {
+  // Identifiers reachable via strings must keep their names (reflection,
+  // loadClass targets). Native method names must keep theirs too — they are
+  // linked by symbol name (ProGuard's -keepclasseswithmembernames rule for
+  // native methods exists for exactly this reason).
+  std::set<std::string> string_constants;
+  std::set<std::string> native_methods;
+  for (const auto& cls : dex.classes()) {
+    for (const auto& m : cls.methods) {
+      if (m.is_native()) native_methods.insert(m.name);
+      for (const auto& ins : m.code) {
+        if (ins.op == dex::Op::ConstStr) {
+          string_constants.insert(dex.string_at(ins.name));
+        }
+      }
+    }
+  }
+
+  auto kept_class = [&](const std::string& name) {
+    if (manifest.has_component(name)) return true;
+    if (name == manifest.application_name) return true;
+    return string_constants.count(name) != 0;
+  };
+
+  // Class rename map: keep the package, shorten the simple name.
+  std::map<std::string, std::string> class_map;
+  std::size_t class_counter = 0;
+  for (const auto& cls : dex.classes()) {
+    if (kept_class(cls.name)) continue;
+    const auto pkg = support::package_of(cls.name);
+    class_map[cls.name] =
+        (pkg.empty() ? "" : pkg + ".") + short_name(class_counter++);
+  }
+  auto map_class = [&](const std::string& name) {
+    const auto it = class_map.find(name);
+    return it == class_map.end() ? name : it->second;
+  };
+
+  // Method/field rename maps are global (name-keyed), mirroring how our
+  // runtime resolves members by name across the class hierarchy.
+  std::map<std::string, std::string> member_map;
+  std::size_t member_counter = 0;
+  auto map_member = [&](const std::string& name) {
+    if (lifecycle_methods().count(name) != 0) return name;
+    if (string_constants.count(name) != 0) return name;  // reflection target
+    if (native_methods.count(name) != 0) return name;    // JNI symbol
+    auto [it, inserted] = member_map.emplace(name, "");
+    if (inserted) it->second = short_name(member_counter++);
+    return it->second;
+  };
+
+  // Re-emit into a fresh file (fresh string pool).
+  dex::DexFile out;
+  for (const auto& cls : dex.classes()) {
+    dex::ClassDef copy;
+    copy.name = map_class(cls.name);
+    copy.super_name = map_class(cls.super_name);
+    for (const auto& f : cls.instance_fields) {
+      copy.instance_fields.push_back(map_member(f));
+    }
+    for (const auto& f : cls.static_fields) {
+      copy.static_fields.push_back(map_member(f));
+    }
+    for (const auto& m : cls.methods) {
+      dex::Method mm = m;
+      mm.name = map_member(m.name);
+      for (auto& ins : mm.code) {
+        const bool uses_cls = ins.op == dex::Op::NewInstance ||
+                              ins.is_invoke() || ins.op == dex::Op::SGet ||
+                              ins.op == dex::Op::SPut;
+        // Read the original callee class BEFORE remapping the cls index.
+        const std::string orig_cls =
+            uses_cls ? dex.string_at(ins.cls) : std::string();
+        if (uses_cls) {
+          ins.cls = out.intern(map_class(orig_cls));
+        }
+        switch (ins.op) {
+          case dex::Op::ConstStr:
+            ins.name = out.intern(dex.string_at(ins.name));
+            break;
+          case dex::Op::InvokeStatic:
+          case dex::Op::InvokeVirtual: {
+            // Framework callees keep their method names; app callees are
+            // renamed through the same member map.
+            const auto& name = dex.string_at(ins.name);
+            const bool framework = class_map.count(orig_cls) == 0 &&
+                                   dex.find_class(orig_cls) == nullptr;
+            ins.name = out.intern(framework ? name : map_member(name));
+            break;
+          }
+          case dex::Op::IGet:
+          case dex::Op::IPut:
+          case dex::Op::SGet:
+          case dex::Op::SPut:
+            ins.name = out.intern(map_member(dex.string_at(ins.name)));
+            break;
+          case dex::Op::NewInstance:
+            ins.name = ins.cls;
+            break;
+          default:
+            break;
+        }
+      }
+      copy.methods.push_back(std::move(mm));
+    }
+    out.add_class(std::move(copy));
+  }
+  for (const auto& extra : dex.extras()) out.add_extra(extra);
+  return out;
+}
+
+}  // namespace dydroid::obfuscation

@@ -1,0 +1,26 @@
+// Lexical obfuscation — the ProGuard analogue. Renames app-package class,
+// method and field identifiers to single letters while keeping everything a
+// rename would break: manifest-declared components, lifecycle entry points,
+// and any identifier referenced from a string constant (the reflection
+// escape hatch ProGuard's -keep rules exist for).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "dex/dexfile.hpp"
+#include "manifest/manifest.hpp"
+
+namespace dydroid::obfuscation {
+
+/// Method names never renamed (framework entry points + reflection targets
+/// are added automatically from string constants).
+const std::set<std::string>& lifecycle_methods();
+
+/// Rename identifiers in `dex` for an app with the given manifest. Classes
+/// outside `app_package` (bundled third-party SDKs) are renamed too, as
+/// ProGuard does by default.
+dex::DexFile rename_identifiers(const dex::DexFile& dex,
+                                const manifest::Manifest& manifest);
+
+}  // namespace dydroid::obfuscation

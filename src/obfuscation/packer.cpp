@@ -1,0 +1,118 @@
+#include "obfuscation/packer.hpp"
+
+#include "dex/builder.hpp"
+#include "dex/disassembler.hpp"
+#include "nativebin/native_library.hpp"
+#include "obfuscation/poison.hpp"
+#include "os/vfs.hpp"
+
+namespace dydroid::obfuscation {
+
+using support::Bytes;
+
+Bytes xor_crypt(std::span<const std::uint8_t> data, std::string_view key) {
+  Bytes out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = data[i] ^ static_cast<std::uint8_t>(key[i % key.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+/// The native decryption stub: exports shieldDecrypt(buffer, key) -> buffer.
+Bytes stub_native_lib() {
+  nativebin::NativeLibrary lib("libshield", nativebin::Arch::Arm);
+  dex::DexBuilder b;
+  b.cls("shield.native.Decrypt")
+      .static_method("shieldDecrypt", 2)
+      .invoke_static("libc", "xor_decrypt", {0, 1})
+      .move_result(2)
+      .ret(2)
+      .done();
+  lib.code() = b.build();
+  return lib.serialize();
+}
+
+/// The stub classes.dex: only the application container.
+dex::DexFile stub_dex(const PackerOptions& options, const std::string& pkg) {
+  const auto dec_path =
+      os::internal_storage_dir(pkg) + "/files/.shield/dec.dex";
+  const auto opt_dir = os::internal_storage_dir(pkg) + "/files/.shield";
+
+  dex::DexBuilder b;
+  auto cls = b.cls(options.container_class, "android.app.Application");
+  cls.static_field("sLoader");
+  cls.native_method("shieldDecrypt", 2);
+
+  auto m = cls.method("onCreate", 1);
+  // (a) load the native decryption stub over JNI.
+  m.const_str(1, options.stub_lib_name);
+  m.invoke_static("java.lang.System", "loadLibrary", {1});
+  // (b) stream-decrypt the asset into private storage.
+  m.const_str(1, std::string(kEncryptedPayloadAsset));
+  m.invoke_static("android.content.res.AssetManager", "open", {1});
+  m.move_result(2);  // InputStream
+  m.new_instance(3, "java.io.FileOutputStream");
+  m.const_str(4, dec_path);
+  m.invoke_virtual("java.io.FileOutputStream", "<init>", {3, 4});
+  m.const_str(5, options.key);
+  m.label("copy");
+  m.invoke_virtual("java.io.InputStream", "read", {2});
+  m.move_result(6);
+  m.if_eqz(6, "load");
+  m.invoke_static(options.container_class, "shieldDecrypt", {6, 5});
+  m.move_result(7);
+  m.invoke_virtual("java.io.OutputStream", "write", {3, 7});
+  m.jump("copy");
+  // (c) load the decrypted bytecode.
+  m.label("load");
+  m.new_instance(8, "dalvik.system.DexClassLoader");
+  m.const_str(9, opt_dir);
+  m.invoke_virtual("dalvik.system.DexClassLoader", "<init>", {8, 4, 9});
+  // (d) lifecycle handover: publish the loader for component resolution.
+  m.sput(8, options.container_class, "sLoader");
+  m.return_void();
+  m.done();
+  return b.build();
+}
+
+}  // namespace
+
+apk::ApkFile pack(const apk::ApkFile& original, const PackerOptions& options) {
+  if ((4096 % options.key.size()) != 0) {
+    throw support::ParseError("packer: key length must divide 4096");
+  }
+  auto man = original.read_manifest();
+  const auto* orig_dex = original.get(apk::kClassesDexEntry);
+  if (orig_dex == nullptr) {
+    throw support::ParseError("packer: no classes.dex to protect");
+  }
+
+  apk::ApkFile out;
+  // Copy every original entry except the bytecode being protected.
+  for (const auto& name : original.entry_names()) {
+    if (name == apk::kClassesDexEntry || name == apk::kManifestEntry) continue;
+    out.put(name, *original.get(name));
+  }
+
+  out.put(std::string(apk::kAssetsDirPrefix) + std::string(kEncryptedPayloadAsset),
+          xor_crypt(*orig_dex, options.key));
+
+  auto stub = stub_dex(options, man.package);
+  if (options.anti_decompilation) poison_anti_decompilation(stub);
+  out.write_classes_dex(stub);
+
+  out.put(std::string(apk::kLibDirPrefix) + "armeabi/" +
+              nativebin::map_library_name(options.stub_lib_name),
+          stub_native_lib());
+
+  man.application_name = options.container_class;
+  out.write_manifest(man);
+
+  if (options.anti_repackaging) plant_anti_repackaging_trap(out);
+  out.sign(options.signer);
+  return out;
+}
+
+}  // namespace dydroid::obfuscation

@@ -1,0 +1,46 @@
+// DEX-encryption packer — the Bangcle/Ijiami/360/Alibaba analogue
+// (paper §III-D). Application rewriting:
+//
+//   1. the original classes.dex is XOR-stream-encrypted into an asset,
+//   2. a stub classes.dex is injected whose application-container class
+//      (a) loads an added native stub library over JNI,
+//      (b) decrypts the asset through the native stub,
+//      (c) DexClassLoader-loads the decrypted bytecode, and
+//      (d) hands the app lifecycle over to the original components,
+//   3. the manifest's android:name is pointed at the container while all
+//      original components stay declared (so they resolve at runtime but are
+//      missing from the decompiled stub — obfuscation rule 2).
+//
+// Optionally plants an anti-repackaging CRC trap, as the commercial packers
+// do.
+#pragma once
+
+#include <string>
+
+#include "apk/apk.hpp"
+
+namespace dydroid::obfuscation {
+
+struct PackerOptions {
+  /// XOR key; length must divide the stream chunk size (4096).
+  std::string key = "shield-k16-seed!";
+  std::string container_class = "com.shield.core.StubApplication";
+  std::string stub_lib_name = "shield";  // -> lib/armeabi/libshield.so
+  bool anti_repackaging = false;
+  bool anti_decompilation = false;  // poison the *stub* dex debug info
+  std::string signer = "shield-packer";
+};
+
+/// Pack an app. The input must contain a manifest and classes.dex.
+/// Throws support::ParseError on malformed input.
+apk::ApkFile pack(const apk::ApkFile& original, const PackerOptions& options);
+
+/// Asset entry name used for the encrypted payload.
+inline constexpr std::string_view kEncryptedPayloadAsset =
+    "shield_payload.bin";
+
+/// XOR a byte string with a repeating key (its own inverse).
+support::Bytes xor_crypt(std::span<const std::uint8_t> data,
+                         std::string_view key);
+
+}  // namespace dydroid::obfuscation

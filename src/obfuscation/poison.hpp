@@ -1,0 +1,28 @@
+// Anti-analysis poisons.
+//
+// Anti-decompilation: a malformed debug_info section that the disassembler
+// (baksmali/apktool analogue) must parse and reject while the VM, which
+// skips unknown/optional sections, runs the app untouched.
+//
+// Anti-repackaging: a CRC-trap entry the device installer tolerates but the
+// strict repackaging tooling refuses — "crashes apktool" (paper Table II).
+#pragma once
+
+#include "apk/apk.hpp"
+#include "dex/dexfile.hpp"
+
+namespace dydroid::obfuscation {
+
+/// Name of the trap entry planted by anti-repackaging.
+inline constexpr std::string_view kTrapEntry = "assets/.integrity";
+
+/// Append a malformed debug_info extra section to the dex.
+void poison_anti_decompilation(dex::DexFile& dex);
+
+/// True if the dex carries the malformed-debug-info poison.
+bool has_anti_decompilation_poison(const dex::DexFile& dex);
+
+/// Plant the CRC trap entry in an APK (call before signing).
+void plant_anti_repackaging_trap(apk::ApkFile& apk);
+
+}  // namespace dydroid::obfuscation

@@ -1,0 +1,45 @@
+// SimDevice: the composed measurement device — filesystem, network, system
+// services and package manager, equivalent to the paper's Samsung Galaxy
+// Nexus running the instrumented Android 4.3.1 image.
+#pragma once
+
+#include <memory>
+
+#include "os/network.hpp"
+#include "os/package_manager.hpp"
+#include "os/services.hpp"
+#include "os/vfs.hpp"
+
+namespace dydroid::os {
+
+struct DeviceConfig {
+  /// Android 4.3.1 = API level 18, the paper's measurement image.
+  int api_level = 18;
+  /// 0 = unlimited storage. The execution engine recovers from full-storage
+  /// errors automatically (paper §I: "device storage running out").
+  std::uint64_t storage_capacity_bytes = 0;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceConfig config = {});
+
+  [[nodiscard]] Vfs& vfs() { return vfs_; }
+  [[nodiscard]] const Vfs& vfs() const { return vfs_; }
+  [[nodiscard]] SystemServices& services() { return services_; }
+  [[nodiscard]] const SystemServices& services() const { return services_; }
+  [[nodiscard]] Network& network() { return network_; }
+  [[nodiscard]] PackageManager& package_manager() { return pm_; }
+  [[nodiscard]] const PackageManager& package_manager() const { return pm_; }
+
+  /// Install an app package.
+  support::Status install(const apk::ApkFile& apk) { return pm_.install(apk); }
+
+ private:
+  Vfs vfs_;
+  SystemServices services_;
+  Network network_;
+  PackageManager pm_;
+};
+
+}  // namespace dydroid::os

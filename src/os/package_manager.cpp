@@ -1,0 +1,75 @@
+#include "os/package_manager.hpp"
+
+#include "os/vfs.hpp"
+#include "support/strings.hpp"
+
+namespace dydroid::os {
+
+using support::Status;
+
+Status PackageManager::install(const apk::ApkFile& apk) {
+  manifest::Manifest m;
+  try {
+    m = apk.read_manifest();
+  } catch (const support::ParseError& e) {
+    return Status::failure(std::string("install: ") + e.what());
+  }
+  if (m.package.empty()) return Status::failure("install: empty package");
+
+  InstalledPackage pkg;
+  pkg.pkg = m.package;
+  pkg.manifest = m;
+  pkg.signer = apk.signer();
+  pkg.apk_path = std::string(kAppDir) + "/" + m.package + ".apk";
+
+  const auto sys = Principal::system();
+  if (auto s = vfs_->write_file(sys, pkg.apk_path, apk.serialize()); !s) {
+    return s;
+  }
+  // Private data dir marker so the dir "exists".
+  if (auto s = vfs_->write_file(
+          sys, internal_storage_dir(m.package) + "/.installed",
+          support::to_bytes(m.package));
+      !s) {
+    return s;
+  }
+  // Extract bundled native libraries, as the installer does for lib/<abi>/.
+  for (const auto& name : apk.entry_names()) {
+    if (name.starts_with(apk::kLibDirPrefix)) {
+      const auto base = name.substr(name.rfind('/') + 1);
+      const auto dest = internal_storage_dir(m.package) + "/lib/" + base;
+      if (auto s = vfs_->write_file(sys, dest, *apk.get(name)); !s) return s;
+    }
+  }
+  packages_.insert_or_assign(m.package, std::move(pkg));
+  return Status();
+}
+
+Status PackageManager::uninstall(std::string_view pkg) {
+  const auto it = packages_.find(pkg);
+  if (it == packages_.end()) {
+    return Status::failure("uninstall: not installed: " + std::string(pkg));
+  }
+  const auto sys = Principal::system();
+  (void)vfs_->delete_file(sys, it->second.apk_path);
+  for (const auto& path : vfs_->list_dir(internal_storage_dir(pkg))) {
+    (void)vfs_->delete_file(sys, path);
+  }
+  packages_.erase(it);
+  return Status();
+}
+
+const InstalledPackage* PackageManager::find(std::string_view pkg) const {
+  const auto it = packages_.find(pkg);
+  if (it == packages_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<std::string> PackageManager::installed_packages() const {
+  std::vector<std::string> out;
+  out.reserve(packages_.size());
+  for (const auto& [name, _] : packages_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dydroid::os

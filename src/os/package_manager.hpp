@@ -1,0 +1,48 @@
+// Package manager: installs SimApks onto the device, owns the package
+// registry queried by PackageManager framework APIs (paper Table X
+// "usage pattern": installed applications / installed packages).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apk/apk.hpp"
+#include "support/error.hpp"
+
+namespace dydroid::os {
+
+class Vfs;
+
+struct InstalledPackage {
+  std::string pkg;
+  manifest::Manifest manifest;
+  std::string signer;
+  std::string apk_path;  // /data/app/<pkg>.apk
+};
+
+class PackageManager {
+ public:
+  explicit PackageManager(Vfs* vfs) : vfs_(vfs) {}
+
+  /// Install an APK: registers the package, stores the APK bytes under
+  /// /data/app, creates the app's private data dir marker, and extracts
+  /// bundled native libraries into /data/data/<pkg>/lib/.
+  support::Status install(const apk::ApkFile& apk);
+  support::Status uninstall(std::string_view pkg);
+
+  [[nodiscard]] const InstalledPackage* find(std::string_view pkg) const;
+  [[nodiscard]] bool is_installed(std::string_view pkg) const {
+    return find(pkg) != nullptr;
+  }
+  [[nodiscard]] std::vector<std::string> installed_packages() const;
+  [[nodiscard]] std::size_t count() const { return packages_.size(); }
+
+ private:
+  Vfs* vfs_;
+  std::map<std::string, InstalledPackage, std::less<>> packages_;
+};
+
+}  // namespace dydroid::os

@@ -1,0 +1,3 @@
+#include "os/services.hpp"
+
+// SystemServices is header-only state; this TU anchors the library target.

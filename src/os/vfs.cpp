@@ -1,0 +1,124 @@
+#include "os/vfs.hpp"
+
+#include "support/strings.hpp"
+
+namespace dydroid::os {
+
+using support::Status;
+
+std::string internal_storage_dir(std::string_view pkg) {
+  return "/data/data/" + std::string(pkg);
+}
+
+PathInfo classify_path(std::string_view path) {
+  PathInfo info;
+  if (path.starts_with("/system/")) {
+    info.domain = PathDomain::kSystem;
+    return info;
+  }
+  constexpr std::string_view kDataData = "/data/data/";
+  if (path.starts_with(kDataData)) {
+    info.domain = PathDomain::kAppPrivate;
+    auto rest = path.substr(kDataData.size());
+    const auto slash = rest.find('/');
+    info.owner = std::string(rest.substr(0, slash));
+    return info;
+  }
+  if (path.starts_with("/mnt/sdcard/") || path == kExternalStorageDir) {
+    info.domain = PathDomain::kExternalStorage;
+    return info;
+  }
+  info.domain = PathDomain::kOther;
+  return info;
+}
+
+bool Vfs::can_write(const Principal& who, std::string_view path) const {
+  if (who.is_system()) return true;
+  const auto info = classify_path(path);
+  switch (info.domain) {
+    case PathDomain::kSystem:
+      return false;
+    case PathDomain::kAppPrivate:
+      return info.owner == who.pkg;
+    case PathDomain::kExternalStorage:
+      // Pre-Android 4.4 (API 19): any app may write external storage.
+      // From 4.4: requires WRITE_EXTERNAL_STORAGE.
+      return api_level_ < 19 || who.has_write_external;
+    case PathDomain::kOther:
+      return false;
+  }
+  return false;
+}
+
+Status Vfs::write_file(const Principal& who, std::string_view path,
+                       support::Bytes data) {
+  if (path.empty() || path.front() != '/') {
+    return Status::failure("vfs: path not absolute: " + std::string(path));
+  }
+  if (!can_write(who, path)) {
+    return Status::failure("vfs: permission denied: " + who.pkg +
+                           " writing " + std::string(path));
+  }
+  const auto it = files_.find(path);
+  const std::uint64_t old_size = it == files_.end() ? 0 : it->second.size();
+  const std::uint64_t new_used = used_ - old_size + data.size();
+  if (capacity_ != 0 && new_used > capacity_) {
+    return Status::failure("vfs: device storage full");
+  }
+  used_ = new_used;
+  files_.insert_or_assign(std::string(path), std::move(data));
+  return Status();
+}
+
+const support::Bytes* Vfs::read_file(std::string_view path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return nullptr;
+  return &it->second;
+}
+
+bool Vfs::exists(std::string_view path) const {
+  return files_.find(path) != files_.end();
+}
+
+Status Vfs::delete_file(const Principal& who, std::string_view path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::failure("vfs: no such file: " + std::string(path));
+  }
+  if (!can_write(who, path)) {
+    return Status::failure("vfs: permission denied deleting " +
+                           std::string(path));
+  }
+  used_ -= it->second.size();
+  files_.erase(it);
+  return Status();
+}
+
+Status Vfs::rename(const Principal& who, std::string_view from,
+                   std::string_view to) {
+  const auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::failure("vfs: no such file: " + std::string(from));
+  }
+  if (!can_write(who, from) || !can_write(who, to)) {
+    return Status::failure("vfs: permission denied renaming " +
+                           std::string(from));
+  }
+  auto data = std::move(it->second);
+  used_ -= data.size();
+  files_.erase(it);
+  return write_file(who, to, std::move(data));
+}
+
+std::vector<std::string> Vfs::list_dir(std::string_view dir_prefix) const {
+  std::string prefix(dir_prefix);
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (!it->first.starts_with(prefix)) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace dydroid::os

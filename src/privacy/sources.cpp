@@ -1,0 +1,124 @@
+#include "privacy/sources.hpp"
+
+#include "os/services.hpp"
+
+namespace dydroid::privacy {
+
+std::string_view data_type_name(DataType type) {
+  switch (type) {
+    case DataType::Location: return "Location";
+    case DataType::Imei: return "IMEI";
+    case DataType::Imsi: return "IMSI";
+    case DataType::Iccid: return "ICCID";
+    case DataType::PhoneNumber: return "Phone number";
+    case DataType::Account: return "Account";
+    case DataType::InstalledApplications: return "Installed applications";
+    case DataType::InstalledPackages: return "Installed packages";
+    case DataType::Contact: return "Contact";
+    case DataType::Calendar: return "Calendar";
+    case DataType::CallLog: return "CallLog";
+    case DataType::Browser: return "Browser";
+    case DataType::Audio: return "Audio";
+    case DataType::Image: return "Image";
+    case DataType::Video: return "Video";
+    case DataType::Settings: return "Settings";
+    case DataType::Mms: return "MMS";
+    case DataType::Sms: return "SMS";
+  }
+  return "?";
+}
+
+std::string_view category_name(Category category) {
+  switch (category) {
+    case Category::L: return "L";
+    case Category::PI: return "PI";
+    case Category::UI: return "UI";
+    case Category::UP: return "UP";
+    case Category::CP: return "CP";
+  }
+  return "?";
+}
+
+Category category_of(DataType type) {
+  switch (type) {
+    case DataType::Location:
+      return Category::L;
+    case DataType::Imei:
+    case DataType::Imsi:
+    case DataType::Iccid:
+      return Category::PI;
+    case DataType::PhoneNumber:
+    case DataType::Account:
+      return Category::UI;
+    case DataType::InstalledApplications:
+    case DataType::InstalledPackages:
+      return Category::UP;
+    default:
+      return Category::CP;
+  }
+}
+
+std::vector<DataType> types_in(TaintMask mask) {
+  std::vector<DataType> out;
+  for (int i = 0; i < kNumDataTypes; ++i) {
+    if ((mask >> i) & 1u) out.push_back(static_cast<DataType>(i));
+  }
+  return out;
+}
+
+std::optional<DataType> source_api(std::string_view cls,
+                                   std::string_view method) {
+  if (cls == "android.telephony.TelephonyManager") {
+    if (method == "getDeviceId") return DataType::Imei;
+    if (method == "getSubscriberId") return DataType::Imsi;
+    if (method == "getSimSerialNumber") return DataType::Iccid;
+    if (method == "getLine1Number") return DataType::PhoneNumber;
+  }
+  if (cls == "android.location.LocationManager" &&
+      method == "getLastKnownLocation") {
+    return DataType::Location;
+  }
+  if (cls == "android.accounts.AccountManager" && method == "getAccounts") {
+    return DataType::Account;
+  }
+  if (cls == "android.content.pm.PackageManager") {
+    if (method == "getInstalledApplications") {
+      return DataType::InstalledApplications;
+    }
+    if (method == "getInstalledPackages") return DataType::InstalledPackages;
+  }
+  return std::nullopt;
+}
+
+std::optional<DataType> source_uri(std::string_view uri) {
+  using namespace dydroid::os;
+  if (uri == kUriContacts) return DataType::Contact;
+  if (uri == kUriCalendar) return DataType::Calendar;
+  if (uri == kUriCallLog) return DataType::CallLog;
+  if (uri == kUriBrowser) return DataType::Browser;
+  if (uri == kUriAudio) return DataType::Audio;
+  if (uri == kUriImages) return DataType::Image;
+  if (uri == kUriVideo) return DataType::Video;
+  if (uri == kUriSettings) return DataType::Settings;
+  if (uri == kUriMms) return DataType::Mms;
+  if (uri == kUriSms) return DataType::Sms;
+  return std::nullopt;
+}
+
+bool is_sink_api(std::string_view cls, std::string_view method) {
+  if (cls == "android.util.Log" && (method == "d" || method == "e")) {
+    return true;
+  }
+  if (cls == "android.telephony.SmsManager" &&
+      method == "sendTextMessage") {
+    return true;
+  }
+  if ((cls == "java.io.OutputStream" || cls == "java.io.FileOutputStream") &&
+      method == "write") {
+    return true;
+  }
+  if (cls == "libc" && method == "exec") return true;
+  return false;
+}
+
+}  // namespace dydroid::privacy

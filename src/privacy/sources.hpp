@@ -1,0 +1,64 @@
+// Privacy source & sink catalogs (paper §III-C(b), Table X).
+//
+// 18 data types in 5 categories. API-shaped sources are keyed by
+// (class, method); content providers are keyed by URI (resolved from the
+// string constant reaching the ContentResolver.query call). Sinks follow the
+// SuSi-style list.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dydroid::privacy {
+
+enum class DataType : int {
+  Location = 0,
+  Imei,
+  Imsi,
+  Iccid,
+  PhoneNumber,
+  Account,
+  InstalledApplications,
+  InstalledPackages,
+  Contact,
+  Calendar,
+  CallLog,
+  Browser,
+  Audio,
+  Image,
+  Video,
+  Settings,
+  Mms,
+  Sms,
+};
+
+inline constexpr int kNumDataTypes = 18;
+
+enum class Category { L, PI, UI, UP, CP };
+
+std::string_view data_type_name(DataType type);
+std::string_view category_name(Category category);
+Category category_of(DataType type);
+
+using TaintMask = std::uint32_t;
+inline constexpr TaintMask mask_of(DataType type) {
+  return TaintMask{1} << static_cast<int>(type);
+}
+/// Data types present in a mask, in enum order.
+std::vector<DataType> types_in(TaintMask mask);
+
+/// API-shaped source lookup: ("android.telephony.TelephonyManager",
+/// "getDeviceId") -> Imei. Nullopt if not a source.
+std::optional<DataType> source_api(std::string_view cls,
+                                   std::string_view method);
+
+/// Content-provider source lookup by URI constant.
+std::optional<DataType> source_uri(std::string_view uri);
+
+/// True if (cls, method) is a data sink (SuSi-style list).
+bool is_sink_api(std::string_view cls, std::string_view method);
+
+}  // namespace dydroid::privacy

@@ -1,0 +1,71 @@
+// Bounds-checked binary readers/writers used by every container format
+// (SimDex, SimNative, SimApk). Integers are little-endian; variable-length
+// fields are length-prefixed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace dydroid::support {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only serializer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  /// Length-prefixed (u32) string.
+  void str(std::string_view s);
+  /// Length-prefixed (u32) raw blob.
+  void blob(std::span<const std::uint8_t> data);
+  /// Raw bytes, no length prefix.
+  void raw(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked deserializer; throws ParseError on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  std::string str();
+  Bytes blob();
+  /// Read exactly n raw bytes.
+  Bytes raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convert a string to a byte vector (no terminator).
+Bytes to_bytes(std::string_view s);
+/// Convert bytes to a string.
+std::string to_string(std::span<const std::uint8_t> b);
+
+}  // namespace dydroid::support

@@ -1,0 +1,83 @@
+// Error type and Result<T> used across the library.
+//
+// Parse/format errors and recoverable per-app failures are reported as
+// Result<T>; programming errors (broken invariants) use assertions.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dydroid::support {
+
+/// Exception thrown on malformed binary input (truncated file, bad magic,
+/// out-of-range index). The unpacker converts these into per-app failures.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A lightweight expected-like result: either a value or an error message.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::expected.
+  Result(T value) : storage_(std::move(value)) {}
+
+  static Result failure(std::string message) {
+    return Result(Err{std::move(message)});
+  }
+
+  [[nodiscard]] bool ok() const { return storage_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::logic_error("Result::take on error: " + error());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] const std::string& error() const {
+    static const std::string kNone;
+    if (ok()) return kNone;
+    return std::get<1>(storage_).message;
+  }
+
+ private:
+  struct Err {
+    std::string message;
+  };
+  explicit Result(Err e) : storage_(std::move(e)) {}
+  std::variant<T, Err> storage_;
+};
+
+/// Result specialization carrying no value.
+class Status {
+ public:
+  Status() = default;
+  static Status failure(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+  [[nodiscard]] bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace dydroid::support

@@ -1,0 +1,21 @@
+// Hashes used for container checksums (CRC32), signatures and structural
+// fingerprints (FNV-1a).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace dydroid::support {
+
+/// 64-bit FNV-1a over a byte span.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data);
+/// 64-bit FNV-1a over a string.
+std::uint64_t fnv1a64(std::string_view s);
+/// Combine two 64-bit hashes (boost::hash_combine style).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+/// CRC-32 (IEEE 802.3 polynomial), used by the SimApk file table.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace dydroid::support

@@ -1,0 +1,84 @@
+// Deterministic random number generation. All randomized components
+// (MiniMonkey, AppGen, obfuscators, malware mutators) take an explicit Rng so
+// every experiment is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dydroid::support {
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    return items[below(items.size())];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[below(items.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-app determinism).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace dydroid::support

@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dydroid::support {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join with a delimiter string.
+std::string join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Java package of a fully qualified class name: "a.b.C" -> "a.b".
+std::string package_of(std::string_view class_name);
+
+/// True if `pkg` equals `prefix` or is a subpackage of it
+/// ("com.foo.bar" has prefix "com.foo" but not "com.fo").
+bool package_has_prefix(std::string_view pkg, std::string_view prefix);
+
+/// Lowercase ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace dydroid::support

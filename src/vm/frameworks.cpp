@@ -1,0 +1,909 @@
+#include "vm/frameworks.hpp"
+
+#include <algorithm>
+
+#include "apk/apk.hpp"
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+#include "vm/vm.hpp"
+
+namespace dydroid::vm {
+
+std::string_view flow_node_kind_name(FlowNodeKind kind) {
+  switch (kind) {
+    case FlowNodeKind::Url: return "URL";
+    case FlowNodeKind::InputStream: return "InputStream";
+    case FlowNodeKind::Buffer: return "Buffer";
+    case FlowNodeKind::OutputStream: return "OutputStream";
+    case FlowNodeKind::File: return "File";
+  }
+  return "?";
+}
+
+namespace {
+
+using support::Bytes;
+
+// ---------------------------------------------------------------------------
+// Native state carried by framework objects.
+// ---------------------------------------------------------------------------
+
+struct LoaderHandle {
+  LoaderState* loader = nullptr;
+};
+
+struct ClassHandle {
+  RuntimeClass* cls = nullptr;
+};
+
+struct MethodHandle {
+  RuntimeClass* cls = nullptr;
+  const dex::Method* method = nullptr;
+};
+
+struct InputStreamState {
+  Bytes data;
+  std::size_t pos = 0;
+  ObjRef inner;  // set for wrapping streams (BufferedInputStream)
+};
+
+struct OutputStreamState {
+  std::string path;      // file-backed streams
+  bool is_network = false;
+  std::string url;       // network-backed streams
+  Bytes written;
+};
+
+struct BufferState {
+  Bytes data;
+};
+
+constexpr std::size_t kReadChunk = 4096;
+constexpr std::string_view kBufferClass = "byte[]";
+
+// ---------------------------------------------------------------------------
+// Small helpers.
+// ---------------------------------------------------------------------------
+
+FlowNode obj_node(FlowNodeKind kind, const ObjRef& obj,
+                  std::string label = {}) {
+  return FlowNode{kind, obj->id(), std::move(label)};
+}
+
+FlowNode file_node(std::string path) {
+  return FlowNode{FlowNodeKind::File, 0, std::move(path)};
+}
+
+/// Resolve a java.io.File argument that may be a File object or a string.
+std::string path_of(Vm& vm, const Value& v) {
+  if (v.is_str()) return v.as_str();
+  if (v.is_obj() && v.as_obj() != nullptr) {
+    const auto path = v.as_obj()->get_field("path");
+    if (path.is_str()) return path.as_str();
+  }
+  throw vm.make_exception("IllegalArgumentException: expected path");
+}
+
+const Value& arg(Vm& vm, const std::vector<Value>& args, std::size_t i) {
+  if (i >= args.size()) {
+    throw vm.make_exception("IllegalArgumentException: missing argument " +
+                            std::to_string(i));
+  }
+  return args[i];
+}
+
+ObjRef make_buffer(Vm& vm, Bytes data) {
+  auto buf = vm.make_object(kBufferClass);
+  buf->native_state() = BufferState{std::move(data)};
+  return buf;
+}
+
+Bytes& buffer_bytes(Vm& vm, const Value& v) {
+  if (!v.is_obj() || v.as_obj() == nullptr) {
+    throw vm.make_exception("IllegalArgumentException: expected buffer");
+  }
+  auto* state = std::any_cast<BufferState>(&v.as_obj()->native_state());
+  if (state == nullptr) {
+    throw vm.make_exception("IllegalArgumentException: not a buffer");
+  }
+  return state->data;
+}
+
+LoaderState* loader_of(Vm& vm, const Value& v) {
+  if (v.is_obj() && v.as_obj() != nullptr) {
+    if (const auto* h =
+            std::any_cast<LoaderHandle>(&v.as_obj()->native_state())) {
+      return h->loader;
+    }
+  }
+  throw vm.make_exception("IllegalArgumentException: not a class loader");
+}
+
+/// Recursively read one chunk from a (possibly wrapped) input stream.
+Value stream_read(Vm& vm, const ObjRef& stream) {
+  auto* state = std::any_cast<InputStreamState>(&stream->native_state());
+  if (state == nullptr) {
+    throw vm.make_exception("IOException: not an input stream");
+  }
+  if (state->inner != nullptr) {
+    // Wrapper: pull a chunk from the wrapped stream; flows Inner->Wrapper
+    // were emitted at construction, Wrapper->Buffer is emitted below by the
+    // caller on our own node.
+    auto chunk = stream_read(vm, state->inner);
+    if (chunk.is_null()) return chunk;
+    vm.emit_flow(obj_node(FlowNodeKind::InputStream, state->inner),
+                 obj_node(FlowNodeKind::InputStream, stream));
+    vm.emit_flow(obj_node(FlowNodeKind::InputStream, stream),
+                 obj_node(FlowNodeKind::Buffer, chunk.as_obj()));
+    return chunk;
+  }
+  if (state->pos >= state->data.size()) return Value();  // EOF -> null
+  const auto n = std::min(kReadChunk, state->data.size() - state->pos);
+  Bytes chunk(state->data.begin() + static_cast<std::ptrdiff_t>(state->pos),
+              state->data.begin() + static_cast<std::ptrdiff_t>(state->pos + n));
+  state->pos += n;
+  auto buf = make_buffer(vm, std::move(chunk));
+  vm.emit_flow(obj_node(FlowNodeKind::InputStream, stream),
+               obj_node(FlowNodeKind::Buffer, buf));
+  return Value(buf);
+}
+
+ObjRef make_input_stream(Vm& vm, std::string_view cls, Bytes data) {
+  auto obj = vm.make_object(cls);
+  obj->native_state() = InputStreamState{std::move(data), 0, nullptr};
+  return obj;
+}
+
+std::string url_of_connection(Vm& vm, const ObjRef& conn) {
+  const auto url = conn->get_field("url");
+  if (!url.is_str()) throw vm.make_exception("IOException: bad connection");
+  return url.as_str();
+}
+
+FlowNode url_node_of_connection(const ObjRef& conn) {
+  const auto id = conn->get_field("url_obj_id");
+  return FlowNode{FlowNodeKind::Url,
+                  static_cast<std::uint64_t>(id.is_int() ? id.as_int() : 0),
+                  conn->get_field("url").is_str()
+                      ? conn->get_field("url").as_str()
+                      : std::string()};
+}
+
+// ---------------------------------------------------------------------------
+// Registration groups.
+// ---------------------------------------------------------------------------
+
+void install_loaders(Vm& vm) {
+  vm.register_framework_class("java.lang.ClassLoader");
+  vm.register_framework_class("dalvik.system.DexClassLoader",
+                              "java.lang.ClassLoader");
+  vm.register_framework_class("dalvik.system.PathClassLoader",
+                              "java.lang.ClassLoader");
+
+  vm.register_intrinsic(
+      "dalvik.system.DexClassLoader", "<init>",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& self = arg(v, args, 0).as_obj();
+        const auto dex_path = arg(v, args, 1).as_str();
+        const auto opt_dir =
+            args.size() > 2 && args[2].is_str() ? args[2].as_str() : "";
+        LoaderState* parent = nullptr;
+        if (args.size() > 4 && args[4].is_obj() && args[4].as_obj()) {
+          parent = loader_of(v, args[4]);
+        }
+        auto* loader = v.create_runtime_loader(LoaderKind::DexClassLoader,
+                                               dex_path, opt_dir, parent);
+        self->native_state() = LoaderHandle{loader};
+        return Value();
+      });
+
+  vm.register_intrinsic(
+      "dalvik.system.PathClassLoader", "<init>",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& self = arg(v, args, 0).as_obj();
+        const auto dex_path = arg(v, args, 1).as_str();
+        LoaderState* parent = nullptr;
+        if (args.size() > 2 && args[2].is_obj() && args[2].as_obj()) {
+          parent = loader_of(v, args[2]);
+        }
+        auto* loader = v.create_runtime_loader(LoaderKind::PathClassLoader,
+                                               dex_path, "", parent);
+        self->native_state() = LoaderHandle{loader};
+        return Value();
+      });
+
+  vm.register_intrinsic(
+      "java.lang.ClassLoader", "loadClass",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        auto* loader = loader_of(v, arg(v, args, 0));
+        const auto& name = arg(v, args, 1).as_str();
+        auto* rc = v.load_class(loader, name);
+        auto cls_obj = v.make_object("java.lang.Class");
+        cls_obj->native_state() = ClassHandle{rc};
+        cls_obj->set_field("name", Value(name));
+        return Value(cls_obj);
+      });
+
+  vm.register_framework_class("java.lang.Class");
+  vm.register_intrinsic(
+      "java.lang.Class", "newInstance",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto* h =
+            std::any_cast<ClassHandle>(&arg(v, args, 0).as_obj()->native_state());
+        if (h == nullptr || h->cls == nullptr) {
+          throw v.make_exception("InstantiationException");
+        }
+        auto* rc = h->cls;
+        auto obj = v.make_object(rc->name(), rc->is_framework() ? nullptr : rc);
+        if (!rc->is_framework()) {
+          if (const auto* init = rc->def()->find_method("<init>");
+              init != nullptr && init->num_params == 1) {
+            v.invoke(rc, *init, {Value(obj)});
+          }
+        }
+        return Value(obj);
+      });
+  vm.register_intrinsic(
+      "java.lang.Class", "getName",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        return arg(v, args, 0).as_obj()->get_field("name");
+      });
+  vm.register_intrinsic(
+      "java.lang.Class", "getMethod",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto* h =
+            std::any_cast<ClassHandle>(&arg(v, args, 0).as_obj()->native_state());
+        const auto& name = arg(v, args, 1).as_str();
+        if (h == nullptr || h->cls == nullptr || h->cls->is_framework()) {
+          throw v.make_exception("NoSuchMethodException: " + name);
+        }
+        const auto* m = h->cls->def()->find_method(name);
+        if (m == nullptr) {
+          throw v.make_exception("NoSuchMethodException: " + name);
+        }
+        auto method_obj = v.make_object("java.lang.reflect.Method");
+        method_obj->native_state() = MethodHandle{h->cls, m};
+        method_obj->set_field("name", Value(name));
+        return Value(method_obj);
+      });
+  vm.register_intrinsic(
+      "java.lang.Class", "forName",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& name = arg(v, args, 0).as_str();
+        auto* rc = v.load_class(v.current_loader(), name);
+        auto cls_obj = v.make_object("java.lang.Class");
+        cls_obj->native_state() = ClassHandle{rc};
+        cls_obj->set_field("name", Value(name));
+        return Value(cls_obj);
+      });
+
+  vm.register_framework_class("java.lang.reflect.Method");
+  vm.register_intrinsic(
+      "java.lang.reflect.Method", "invoke",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto* h = std::any_cast<MethodHandle>(
+            &arg(v, args, 0).as_obj()->native_state());
+        if (h == nullptr || h->method == nullptr) {
+          throw v.make_exception("IllegalArgumentException: bad Method");
+        }
+        std::vector<Value> call_args;
+        if (!h->method->is_static()) {
+          call_args.push_back(arg(v, args, 1));
+        }
+        for (std::size_t i = 2; i < args.size(); ++i) {
+          call_args.push_back(args[i]);
+        }
+        return v.invoke(h->cls, *h->method, std::move(call_args));
+      });
+}
+
+void install_native_loading(Vm& vm) {
+  vm.register_framework_class("java.lang.System");
+  vm.register_framework_class("java.lang.Runtime");
+
+  auto load_by_name = [](Vm& v, const std::vector<Value>& args,
+                         std::size_t idx) -> Value {
+    v.load_native_library_by_name(arg(v, args, idx).as_str());
+    return Value();
+  };
+  auto load_by_path = [](Vm& v, const std::vector<Value>& args,
+                         std::size_t idx) -> Value {
+    v.load_native_library(arg(v, args, idx).as_str());
+    return Value();
+  };
+
+  vm.register_intrinsic("java.lang.System", "loadLibrary",
+                        [load_by_name](Vm& v, const std::vector<Value>& a) {
+                          return load_by_name(v, a, 0);
+                        });
+  vm.register_intrinsic("java.lang.System", "load",
+                        [load_by_path](Vm& v, const std::vector<Value>& a) {
+                          return load_by_path(v, a, 0);
+                        });
+  vm.register_intrinsic(
+      "java.lang.System", "mapLibraryName",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        return Value(nativebin::map_library_name(arg(v, args, 0).as_str()));
+      });
+  vm.register_intrinsic("java.lang.System", "currentTimeMillis",
+                        [](Vm& v, const std::vector<Value>&) -> Value {
+                          return Value(v.device().services().current_time_ms());
+                        });
+
+  vm.register_intrinsic("java.lang.Runtime", "getRuntime",
+                        [](Vm& v, const std::vector<Value>&) -> Value {
+                          return Value(v.make_object("java.lang.Runtime"));
+                        });
+  // Instance forms: receiver in args[0], operand in args[1].
+  vm.register_intrinsic("java.lang.Runtime", "loadLibrary",
+                        [load_by_name](Vm& v, const std::vector<Value>& a) {
+                          return load_by_name(v, a, 1);
+                        });
+  vm.register_intrinsic("java.lang.Runtime", "load",
+                        [load_by_path](Vm& v, const std::vector<Value>& a) {
+                          return load_by_path(v, a, 1);
+                        });
+  // Android 7.1 adds Runtime.load0 (paper §III-B): one extra hook adapts the
+  // system to the latest OS.
+  vm.register_intrinsic("java.lang.Runtime", "load0",
+                        [load_by_path](Vm& v, const std::vector<Value>& a) {
+                          return load_by_path(v, a, 1);
+                        });
+
+  vm.register_framework_class("java.lang.Thread");
+  vm.register_intrinsic("java.lang.Thread", "sleep",
+                        [](Vm& v, const std::vector<Value>& args) -> Value {
+                          v.device().services().advance_ms(
+                              args.empty() ? 0 : arg(v, args, 0).as_int());
+                          return Value();
+                        });
+}
+
+void install_files(Vm& vm) {
+  vm.register_framework_class("java.io.File");
+  vm.register_intrinsic(
+      "java.io.File", "<init>",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& self = arg(v, args, 0).as_obj();
+        std::string path;
+        if (args.size() >= 3) {
+          path = path_of(v, args[1]) + "/" + args[2].as_str();
+        } else {
+          path = path_of(v, arg(v, args, 1));
+        }
+        self->set_field("path", Value(std::move(path)));
+        return Value();
+      });
+  vm.register_intrinsic("java.io.File", "getPath",
+                        [](Vm& v, const std::vector<Value>& args) -> Value {
+                          return arg(v, args, 0).as_obj()->get_field("path");
+                        });
+  vm.register_intrinsic("java.io.File", "getAbsolutePath",
+                        [](Vm& v, const std::vector<Value>& args) -> Value {
+                          return arg(v, args, 0).as_obj()->get_field("path");
+                        });
+  vm.register_intrinsic(
+      "java.io.File", "exists",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        return Value(
+            v.device().vfs().exists(path_of(v, arg(v, args, 0))) ? 1 : 0);
+      });
+  vm.register_intrinsic(
+      "java.io.File", "length",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto* data =
+            v.device().vfs().read_file(path_of(v, arg(v, args, 0)));
+        return Value(
+            static_cast<std::int64_t>(data == nullptr ? 0 : data->size()));
+      });
+  vm.register_intrinsic("java.io.File", "mkdirs",
+                        [](Vm&, const std::vector<Value>&) -> Value {
+                          return Value(1);  // directories are implicit
+                        });
+  vm.register_intrinsic(
+      "java.io.File", "delete",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto path = path_of(v, arg(v, args, 0));
+        auto& hooks = v.instrumentation();
+        if (hooks.allow_file_delete && !hooks.allow_file_delete(path)) {
+          // Instrumented java.io.File: silently fail (paper §III-B) so the
+          // interceptor can still copy the binary.
+          return Value(0);
+        }
+        const auto status =
+            v.device().vfs().delete_file(v.app().principal(), path);
+        return Value(status ? 1 : 0);
+      });
+  vm.register_intrinsic(
+      "java.io.File", "renameTo",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto from = path_of(v, arg(v, args, 0));
+        const auto to = path_of(v, arg(v, args, 1));
+        auto& hooks = v.instrumentation();
+        if (hooks.allow_file_rename && !hooks.allow_file_rename(from, to)) {
+          return Value(0);
+        }
+        const auto status =
+            v.device().vfs().rename(v.app().principal(), from, to);
+        if (status) {
+          v.emit_flow(file_node(from), file_node(to));
+          if (hooks.on_file_written) hooks.on_file_written(to);
+        }
+        return Value(status ? 1 : 0);
+      });
+
+  // Input streams.
+  vm.register_framework_class("java.io.InputStream");
+  vm.register_framework_class("java.io.FileInputStream",
+                              "java.io.InputStream");
+  vm.register_framework_class("java.io.BufferedInputStream",
+                              "java.io.InputStream");
+  vm.register_intrinsic(
+      "java.io.FileInputStream", "<init>",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& self = arg(v, args, 0).as_obj();
+        const auto path = path_of(v, arg(v, args, 1));
+        const auto& data = v.read_file_or_throw(path);
+        self->native_state() = InputStreamState{data, 0, nullptr};
+        v.emit_flow(file_node(path),
+                    obj_node(FlowNodeKind::InputStream, self));
+        return Value();
+      });
+  vm.register_intrinsic(
+      "java.io.BufferedInputStream", "<init>",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& self = arg(v, args, 0).as_obj();
+        const auto& inner = arg(v, args, 1).as_obj();
+        self->native_state() = InputStreamState{{}, 0, inner};
+        v.emit_flow(obj_node(FlowNodeKind::InputStream, inner),
+                    obj_node(FlowNodeKind::InputStream, self));
+        return Value();
+      });
+  vm.register_intrinsic(
+      "java.io.InputStream", "read",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        return stream_read(v, arg(v, args, 0).as_obj());
+      });
+  vm.register_intrinsic("java.io.InputStream", "close",
+                        [](Vm&, const std::vector<Value>&) -> Value {
+                          return Value();
+                        });
+
+  // Output streams.
+  vm.register_framework_class("java.io.OutputStream");
+  vm.register_framework_class("java.io.FileOutputStream",
+                              "java.io.OutputStream");
+  vm.register_intrinsic(
+      "java.io.FileOutputStream", "<init>",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& self = arg(v, args, 0).as_obj();
+        const auto path = path_of(v, arg(v, args, 1));
+        self->native_state() = OutputStreamState{path, false, "", {}};
+        return Value();
+      });
+  vm.register_intrinsic(
+      "java.io.OutputStream", "write",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& self = arg(v, args, 0).as_obj();
+        auto* state = std::any_cast<OutputStreamState>(&self->native_state());
+        if (state == nullptr) {
+          throw v.make_exception("IOException: not an output stream");
+        }
+        const auto& chunk = buffer_bytes(v, arg(v, args, 1));
+        v.emit_flow(obj_node(FlowNodeKind::Buffer, arg(v, args, 1).as_obj()),
+                    obj_node(FlowNodeKind::OutputStream, self));
+        state->written.insert(state->written.end(), chunk.begin(),
+                              chunk.end());
+        if (state->is_network) {
+          v.record_event("net_write",
+                         state->url + " bytes=" +
+                             std::to_string(state->written.size()));
+        } else {
+          // Write-through so a concurrent load sees the full prefix, then
+          // flow OutputStream -> File.
+          v.write_file_as_app(state->path, state->written);
+          v.emit_flow(obj_node(FlowNodeKind::OutputStream, self),
+                      file_node(state->path));
+        }
+        return Value();
+      });
+  vm.register_intrinsic("java.io.OutputStream", "close",
+                        [](Vm&, const std::vector<Value>&) -> Value {
+                          return Value();
+                        });
+}
+
+void install_network(Vm& vm) {
+  vm.register_framework_class("java.net.URL");
+  vm.register_framework_class("java.net.URLConnection");
+  vm.register_framework_class("java.net.HttpURLConnection",
+                              "java.net.URLConnection");
+  vm.register_framework_class("java.net.HttpsURLConnection",
+                              "java.net.HttpURLConnection");
+  vm.register_framework_class("java.net.FtpURLConnection",
+                              "java.net.URLConnection");
+
+  vm.register_intrinsic(
+      "java.net.URL", "<init>",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& self = arg(v, args, 0).as_obj();
+        const auto& spec = arg(v, args, 1).as_str();
+        self->set_field("url", Value(spec));
+        auto& hooks = v.instrumentation();
+        if (hooks.on_url_created) {
+          hooks.on_url_created(obj_node(FlowNodeKind::Url, self, spec));
+        }
+        return Value();
+      });
+  vm.register_intrinsic(
+      "java.net.URL", "openConnection",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& self = arg(v, args, 0).as_obj();
+        auto conn = v.make_object("java.net.HttpURLConnection");
+        conn->set_field("url", self->get_field("url"));
+        conn->set_field("url_obj_id",
+                        Value(static_cast<std::int64_t>(self->id())));
+        return Value(conn);
+      });
+
+  auto open_input = [](Vm& v, const std::string& url, const FlowNode& url_node)
+      -> Value {
+    auto fetched = v.device().network().fetch(url);
+    if (!fetched) {
+      throw v.make_exception("IOException: " + fetched.error());
+    }
+    auto stream = make_input_stream(v, "java.io.FileInputStream",
+                                    std::move(fetched).take());
+    // The stream is network-sourced, not file-sourced; present it as a
+    // plain InputStream node fed by the URL (Table I: URL -> InputStream).
+    v.emit_flow(url_node, obj_node(FlowNodeKind::InputStream, stream));
+    return Value(stream);
+  };
+
+  vm.register_intrinsic(
+      "java.net.URL", "openStream",
+      [open_input](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& self = arg(v, args, 0).as_obj();
+        const auto url = self->get_field("url").as_str();
+        return open_input(v, url, obj_node(FlowNodeKind::Url, self, url));
+      });
+  vm.register_intrinsic(
+      "java.net.URLConnection", "getInputStream",
+      [open_input](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& conn = arg(v, args, 0).as_obj();
+        return open_input(v, url_of_connection(v, conn),
+                          url_node_of_connection(conn));
+      });
+  vm.register_intrinsic(
+      "java.net.URLConnection", "getOutputStream",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& conn = arg(v, args, 0).as_obj();
+        auto stream = v.make_object("java.io.FileOutputStream");
+        stream->native_state() =
+            OutputStreamState{"", true, url_of_connection(v, conn), {}};
+        return Value(stream);
+      });
+  vm.register_intrinsic("java.net.URLConnection", "connect",
+                        [](Vm&, const std::vector<Value>&) -> Value {
+                          return Value();
+                        });
+  vm.register_intrinsic(
+      "java.net.HttpURLConnection", "getResponseCode",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& conn = arg(v, args, 0).as_obj();
+        auto fetched = v.device().network().fetch(url_of_connection(v, conn));
+        return Value(fetched ? 200 : 404);
+      });
+}
+
+void install_privacy_sources(Vm& vm) {
+  vm.register_intrinsic("android.telephony.TelephonyManager", "getDeviceId",
+                        [](Vm& v, const std::vector<Value>&) -> Value {
+                          return Value(v.device().services().imei());
+                        });
+  vm.register_intrinsic("android.telephony.TelephonyManager",
+                        "getSubscriberId",
+                        [](Vm& v, const std::vector<Value>&) -> Value {
+                          return Value(v.device().services().imsi());
+                        });
+  vm.register_intrinsic("android.telephony.TelephonyManager",
+                        "getSimSerialNumber",
+                        [](Vm& v, const std::vector<Value>&) -> Value {
+                          return Value(v.device().services().iccid());
+                        });
+  vm.register_intrinsic("android.telephony.TelephonyManager",
+                        "getLine1Number",
+                        [](Vm& v, const std::vector<Value>&) -> Value {
+                          return Value(v.device().services().line1_number());
+                        });
+  vm.register_intrinsic(
+      "android.location.LocationManager", "getLastKnownLocation",
+      [](Vm& v, const std::vector<Value>&) -> Value {
+        return Value(v.device().services().last_known_location());
+      });
+  vm.register_intrinsic(
+      "android.location.LocationManager", "isProviderEnabled",
+      [](Vm& v, const std::vector<Value>&) -> Value {
+        return Value(v.device().services().location_enabled() ? 1 : 0);
+      });
+  vm.register_intrinsic(
+      "android.accounts.AccountManager", "getAccounts",
+      [](Vm& v, const std::vector<Value>&) -> Value {
+        return Value(support::join(v.device().services().accounts(), ";"));
+      });
+  vm.register_intrinsic(
+      "android.content.pm.PackageManager", "getInstalledApplications",
+      [](Vm& v, const std::vector<Value>&) -> Value {
+        return Value(support::join(
+            v.device().package_manager().installed_packages(), ";"));
+      });
+  vm.register_intrinsic(
+      "android.content.pm.PackageManager", "getInstalledPackages",
+      [](Vm& v, const std::vector<Value>&) -> Value {
+        return Value(support::join(
+            v.device().package_manager().installed_packages(), ";"));
+      });
+  vm.register_intrinsic(
+      "android.content.ContentResolver", "query",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& uri = arg(v, args, 0).as_str();
+        return Value(
+            support::join(v.device().services().query_provider(uri), ";"));
+      });
+}
+
+void install_sinks_and_services(Vm& vm) {
+  vm.register_intrinsic(
+      "android.util.Log", "d",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        v.record_event("log", (args.empty() ? "" : args[0].display()) + ": " +
+                                  (args.size() > 1 ? args[1].display() : ""));
+        return Value();
+      });
+  vm.register_intrinsic(
+      "android.util.Log", "e",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        v.record_event("log", (args.empty() ? "" : args[0].display()) + ": " +
+                                  (args.size() > 1 ? args[1].display() : ""));
+        return Value();
+      });
+  vm.register_intrinsic(
+      "android.telephony.SmsManager", "sendTextMessage",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        v.record_event("sms", (args.empty() ? "" : args[0].display()) + ": " +
+                                  (args.size() > 1 ? args[1].display() : ""));
+        return Value();
+      });
+  vm.register_intrinsic(
+      "android.app.NotificationManager", "notify",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        v.record_event("notification",
+                       args.empty() ? "" : args[0].display());
+        return Value();
+      });
+  vm.register_intrinsic(
+      "com.android.launcher.Shortcut", "install",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        v.record_event("shortcut", args.empty() ? "" : args[0].display());
+        return Value();
+      });
+  vm.register_intrinsic(
+      "android.provider.Browser", "setHomepage",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        v.record_event("homepage", args.empty() ? "" : args[0].display());
+        return Value();
+      });
+
+  vm.register_intrinsic(
+      "android.net.ConnectivityManager", "isConnected",
+      [](Vm& v, const std::vector<Value>&) -> Value {
+        return Value(v.device().services().has_connectivity() ? 1 : 0);
+      });
+  vm.register_intrinsic(
+      "android.provider.Settings", "isAirplaneModeOn",
+      [](Vm& v, const std::vector<Value>&) -> Value {
+        return Value(v.device().services().airplane_mode() ? 1 : 0);
+      });
+  vm.register_intrinsic(
+      "android.net.wifi.WifiManager", "isWifiEnabled",
+      [](Vm& v, const std::vector<Value>&) -> Value {
+        return Value(v.device().services().wifi_enabled() ? 1 : 0);
+      });
+  vm.register_intrinsic(
+      "android.os.Environment", "getExternalStorageDirectory",
+      [](Vm&, const std::vector<Value>&) -> Value {
+        return Value(std::string(os::kExternalStorageDir));
+      });
+
+  // Context conveniences (receiver optional; always answer for the host app).
+  vm.register_framework_class("android.content.Context");
+  vm.register_framework_class("android.app.Activity",
+                              "android.content.Context");
+  vm.register_framework_class("android.app.Application",
+                              "android.content.Context");
+  vm.register_framework_class("android.app.Service",
+                              "android.content.Context");
+  vm.register_framework_class("android.content.BroadcastReceiver");
+  vm.register_framework_class("android.content.ContentProvider");
+
+  vm.register_intrinsic(
+      "android.content.Context", "getFilesDir",
+      [](Vm& v, const std::vector<Value>&) -> Value {
+        return Value(os::internal_storage_dir(v.app().package()) + "/files");
+      });
+  vm.register_intrinsic(
+      "android.content.Context", "getCacheDir",
+      [](Vm& v, const std::vector<Value>&) -> Value {
+        return Value(os::internal_storage_dir(v.app().package()) + "/cache");
+      });
+  vm.register_intrinsic(
+      "android.content.Context", "getPackageName",
+      [](Vm& v, const std::vector<Value>&) -> Value {
+        return Value(v.app().package());
+      });
+  // Package contexts: "an application can even use package contexts to
+  // retrieve the classes contained in another application" (paper §II).
+  // Returns a Context whose getClassLoader() is a PathClassLoader over the
+  // other app's installed APK — mediated by the same loader hook.
+  vm.register_intrinsic(
+      "android.content.Context", "createPackageContext",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        // Static-style: the target package is the last argument.
+        const auto& pkg = arg(v, args, args.size() - 1).as_str();
+        if (!v.device().package_manager().is_installed(pkg)) {
+          throw v.make_exception("NameNotFoundException: " + pkg);
+        }
+        auto ctx = v.make_object("android.content.Context");
+        ctx->set_field("package", Value(pkg));
+        return Value(ctx);
+      });
+  vm.register_intrinsic(
+      "android.content.Context", "getClassLoader",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& self = arg(v, args, 0).as_obj();
+        const auto pkg_field = self->get_field("package");
+        const auto pkg =
+            pkg_field.is_str() ? pkg_field.as_str() : v.app().package();
+        const auto apk_path = std::string(os::kAppDir) + "/" + pkg + ".apk";
+        auto* loader = v.create_runtime_loader(LoaderKind::PathClassLoader,
+                                               apk_path, "", nullptr);
+        auto loader_obj = v.make_object("dalvik.system.PathClassLoader");
+        loader_obj->native_state() = LoaderHandle{loader};
+        return Value(loader_obj);
+      });
+  // Lifecycle no-ops inherited by app components.
+  for (const auto* method : {"<init>", "setContentView", "onCreate",
+                             "finish"}) {
+    vm.register_intrinsic("android.app.Activity", method,
+                          [](Vm&, const std::vector<Value>&) -> Value {
+                            return Value();
+                          });
+  }
+  vm.register_intrinsic("android.app.Application", "<init>",
+                        [](Vm&, const std::vector<Value>&) -> Value {
+                          return Value();
+                        });
+  vm.register_intrinsic("android.app.Service", "<init>",
+                        [](Vm&, const std::vector<Value>&) -> Value {
+                          return Value();
+                        });
+
+  // Assets: open an entry from the installed APK.
+  vm.register_intrinsic(
+      "android.content.res.AssetManager", "open",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& name = arg(v, args, 0).as_str();
+        const auto apk_path =
+            std::string(os::kAppDir) + "/" + v.app().package() + ".apk";
+        const auto& raw = v.read_file_or_throw(apk_path);
+        apk::ApkFile pkg;
+        try {
+          pkg = apk::ApkFile::deserialize(raw);
+        } catch (const support::ParseError& e) {
+          throw v.make_exception(std::string("IOException: ") + e.what());
+        }
+        const auto* entry =
+            pkg.get(std::string(apk::kAssetsDirPrefix) + name);
+        if (entry == nullptr) {
+          throw v.make_exception("FileNotFoundException: asset " + name);
+        }
+        auto stream =
+            make_input_stream(v, "java.io.FileInputStream", *entry);
+        v.emit_flow(file_node(apk_path),
+                    obj_node(FlowNodeKind::InputStream, stream));
+        return Value(stream);
+      });
+}
+
+void install_strings_and_crypto(Vm& vm) {
+  vm.register_intrinsic(
+      "java.lang.String", "getBytes",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& s = arg(v, args, 0).as_str();
+        return Value(make_buffer(v, support::to_bytes(s)));
+      });
+  vm.register_intrinsic(
+      "java.lang.String", "valueOf",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& val = arg(v, args, 0);
+        if (val.is_obj() && val.as_obj() != nullptr &&
+            std::any_cast<BufferState>(&val.as_obj()->native_state()) !=
+                nullptr) {
+          return Value(support::to_string(buffer_bytes(v, val)));
+        }
+        return Value(val.display());
+      });
+  // Integrity verification primitive: apps that hash a file before loading
+  // it are NOT code-injection vulnerable (paper: "manually confirmed that
+  // even [the] developer fails to enforce integrity verification").
+  vm.register_intrinsic(
+      "java.security.MessageDigest", "digest",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& val = arg(v, args, 0);
+        support::Bytes data;
+        if (val.is_str()) {
+          // Hash a file by path.
+          data = v.read_file_or_throw(val.as_str());
+        } else {
+          data = buffer_bytes(v, val);
+        }
+        return Value(static_cast<std::int64_t>(support::fnv1a64(data)));
+      });
+}
+
+void install_libc(Vm& vm) {
+  vm.register_intrinsic(
+      "libc", "ptrace",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        v.record_event("ptrace", args.empty() ? "" : args[0].display());
+        return Value(1);
+      });
+  vm.register_intrinsic("libc", "su",
+                        [](Vm& v, const std::vector<Value>&) -> Value {
+                          v.record_event("su", "");
+                          return Value(1);
+                        });
+  vm.register_intrinsic(
+      "libc", "hook_method",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        v.record_event("hook", args.empty() ? "" : args[0].display());
+        return Value(1);
+      });
+  vm.register_intrinsic(
+      "libc", "exec",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        v.record_event("exec", args.empty() ? "" : args[0].display());
+        return Value(0);
+      });
+  // Stream-cipher "decryption" used by packer stubs: XOR with a repeating
+  // key. Takes a buffer + key string, returns a new buffer.
+  vm.register_intrinsic(
+      "libc", "xor_decrypt",
+      [](Vm& v, const std::vector<Value>& args) -> Value {
+        const auto& data = buffer_bytes(v, arg(v, args, 0));
+        const auto& key = arg(v, args, 1).as_str();
+        if (key.empty()) {
+          throw v.make_exception("IllegalArgumentException: empty key");
+        }
+        Bytes out(data.size());
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          out[i] = data[i] ^ static_cast<std::uint8_t>(key[i % key.size()]);
+        }
+        return Value(make_buffer(v, std::move(out)));
+      });
+}
+
+}  // namespace
+
+void install_framework(Vm& vm) {
+  install_loaders(vm);
+  install_native_loading(vm);
+  install_files(vm);
+  install_network(vm);
+  install_privacy_sources(vm);
+  install_sinks_and_services(vm);
+  install_strings_and_crypto(vm);
+  install_libc(vm);
+}
+
+}  // namespace dydroid::vm

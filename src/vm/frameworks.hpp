@@ -1,0 +1,14 @@
+// Framework API surface served as intrinsics: class loaders, JNI loading,
+// java.io files & streams, java.net URLs, telephony/location/accounts/
+// package-manager privacy sources, logging/SMS sinks, system services, and
+// the libc pseudo-syscalls reachable from native code.
+#pragma once
+
+namespace dydroid::vm {
+
+class Vm;
+
+/// Register every framework class and intrinsic on a fresh Vm.
+void install_framework(Vm& vm);
+
+}  // namespace dydroid::vm

@@ -1,0 +1,25 @@
+#include "vm/stack_trace.hpp"
+
+#include "support/strings.hpp"
+
+namespace dydroid::vm {
+
+bool is_framework_class(std::string_view class_name) {
+  using support::package_has_prefix;
+  const auto pkg = std::string(class_name);
+  return package_has_prefix(pkg, "java") || package_has_prefix(pkg, "javax") ||
+         package_has_prefix(pkg, "dalvik") ||
+         package_has_prefix(pkg, "android") || class_name == "libc" ||
+         package_has_prefix(pkg, "com.android.internal");
+}
+
+std::string format_stack_trace(const StackTrace& trace) {
+  std::string out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i != 0) out += " <- ";
+    out += trace[i].class_name + "." + trace[i].method_name;
+  }
+  return out;
+}
+
+}  // namespace dydroid::vm

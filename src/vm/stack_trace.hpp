@@ -1,0 +1,26 @@
+// Java-style stack traces (paper Figure 2). Element 0 is the innermost
+// frame. DyDroid's entity identifier walks from the top past framework
+// frames to find the call-site class of a DCL event.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dydroid::vm {
+
+struct StackTraceElement {
+  std::string class_name;
+  std::string method_name;
+};
+
+using StackTrace = std::vector<StackTraceElement>;
+
+/// True for classes belonging to the OS/runtime (dalvik.*, java.*,
+/// javax.*, android.*, libc) — skipped when locating a DCL call site.
+bool is_framework_class(std::string_view class_name);
+
+/// Render "cls.method <- cls.method <- ..." for logs.
+std::string format_stack_trace(const StackTrace& trace);
+
+}  // namespace dydroid::vm

@@ -1,0 +1,47 @@
+#include "vm/value.hpp"
+
+#include <stdexcept>
+
+namespace dydroid::vm {
+
+std::int64_t Value::as_int() const {
+  if (is_null()) return 0;
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) return *i;
+  throw std::runtime_error("value is not an int: " + display());
+}
+
+const std::string& Value::as_str() const {
+  if (const auto* s = std::get_if<std::string>(&v_)) return *s;
+  throw std::runtime_error("value is not a string: " + display());
+}
+
+const ObjRef& Value::as_obj() const {
+  if (const auto* o = std::get_if<ObjRef>(&v_)) return *o;
+  throw std::runtime_error("value is not an object: " + display());
+}
+
+std::string Value::display() const {
+  if (is_null()) return "null";
+  if (const auto* i = std::get_if<std::int64_t>(&v_)) return std::to_string(*i);
+  if (const auto* s = std::get_if<std::string>(&v_)) return *s;
+  const auto& obj = std::get<ObjRef>(v_);
+  if (obj == nullptr) return "null";
+  return obj->class_name() + "@" + std::to_string(obj->id());
+}
+
+bool Value::equals(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_int() && other.is_int()) return as_int() == other.as_int();
+  if (is_str() && other.is_str()) return as_str() == other.as_str();
+  if (is_obj() && other.is_obj()) return as_obj() == other.as_obj();
+  return false;
+}
+
+bool Value::truthy() const {
+  if (is_null()) return false;
+  if (is_int()) return as_int() != 0;
+  if (is_str()) return !as_str().empty();
+  return as_obj() != nullptr;
+}
+
+}  // namespace dydroid::vm

@@ -1,0 +1,112 @@
+// MiniDalvik value & object model.
+//
+// Values are null, 64-bit integers, strings, or references to heap objects.
+// Every object carries a VM-unique id — the "hash code" the paper's download
+// tracker uses to identify objects in flow edges (Table I: "Each object is
+// represented by type and hash code").
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <variant>
+
+namespace dydroid::vm {
+
+class RuntimeClass;
+class VmObject;
+using ObjRef = std::shared_ptr<VmObject>;
+
+class Value {
+ public:
+  Value() = default;  // null
+  // NOLINTBEGIN(google-explicit-constructor): values convert implicitly,
+  // mirroring how registers hold any type.
+  Value(std::int64_t i) : v_(i) {}
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(ObjRef o) : v_(std::move(o)) {}
+  // NOLINTEND(google-explicit-constructor)
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::monostate>(v_);
+  }
+  [[nodiscard]] bool is_int() const {
+    return std::holds_alternative<std::int64_t>(v_);
+  }
+  [[nodiscard]] bool is_str() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_obj() const {
+    return std::holds_alternative<ObjRef>(v_);
+  }
+
+  /// Integer view; null reads as 0 (throws on string/object).
+  [[nodiscard]] std::int64_t as_int() const;
+  /// String view; throws unless the value is a string.
+  [[nodiscard]] const std::string& as_str() const;
+  /// Object view; throws unless the value is an object reference.
+  [[nodiscard]] const ObjRef& as_obj() const;
+
+  /// Human-readable rendering (Concat, log output, exception messages).
+  [[nodiscard]] std::string display() const;
+
+  /// Structural equality: ints/strings by value, objects by identity,
+  /// null == null.
+  [[nodiscard]] bool equals(const Value& other) const;
+
+  /// Truthiness for If* branches: non-zero int, non-empty handled as int 0/1
+  /// is the only branching type; null is false, objects are true.
+  [[nodiscard]] bool truthy() const;
+
+  /// Dynamic taint label (TaintDroid-style): a bitmask of privacy data
+  /// types attached to the value and propagated by the interpreter. Zero
+  /// for untainted values.
+  [[nodiscard]] std::uint32_t taint() const { return taint_; }
+  void set_taint(std::uint32_t mask) { taint_ = mask; }
+  void add_taint(std::uint32_t mask) { taint_ |= mask; }
+
+ private:
+  std::variant<std::monostate, std::int64_t, std::string, ObjRef> v_;
+  std::uint32_t taint_ = 0;
+};
+
+/// A heap object: dynamic class name, named fields, and (for framework
+/// objects) opaque native state such as an open stream or a loader.
+class VmObject {
+ public:
+  VmObject(std::uint64_t id, std::string class_name)
+      : id_(id), class_name_(std::move(class_name)) {}
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const std::string& class_name() const { return class_name_; }
+
+  [[nodiscard]] Value get_field(const std::string& name) const {
+    const auto it = fields_.find(name);
+    return it == fields_.end() ? Value() : it->second;
+  }
+  void set_field(const std::string& name, Value v) {
+    fields_[name] = std::move(v);
+  }
+
+  /// Opaque framework-native state (stream cursors, loader state, ...).
+  std::any& native_state() { return native_state_; }
+  [[nodiscard]] const std::any& native_state() const { return native_state_; }
+
+  /// Runtime class for app-defined objects; null for framework objects.
+  /// Non-owning: loaders own RuntimeClass instances and outlive the heap.
+  [[nodiscard]] RuntimeClass* rt_class() const { return rt_class_; }
+  void set_rt_class(RuntimeClass* rt) { rt_class_ = rt; }
+
+ private:
+  std::uint64_t id_;
+  std::string class_name_;
+  std::unordered_map<std::string, Value> fields_;
+  std::any native_state_;
+  RuntimeClass* rt_class_ = nullptr;
+};
+
+}  // namespace dydroid::vm

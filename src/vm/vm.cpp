@@ -1,0 +1,639 @@
+#include "vm/vm.hpp"
+
+#include <cassert>
+
+#include "support/log.hpp"
+#include "support/strings.hpp"
+#include "vm/frameworks.hpp"
+
+namespace dydroid::vm {
+
+using support::Status;
+
+namespace {
+
+std::string basename_no_ext(std::string_view path) {
+  const auto slash = path.rfind('/');
+  auto base = slash == std::string_view::npos ? path : path.substr(slash + 1);
+  const auto dot = base.rfind('.');
+  if (dot != std::string_view::npos) base = base.substr(0, dot);
+  return std::string(base);
+}
+
+}  // namespace
+
+Vm::Vm(os::Device& device, AppContext app, VmLimits limits)
+    : device_(&device), app_(std::move(app)), limits_(limits) {
+  boot_loader_ = new_loader(LoaderType::Boot, nullptr);
+  install_framework(*this);
+}
+
+Vm::~Vm() = default;
+
+LoaderState* Vm::new_loader(LoaderType type, LoaderState* parent) {
+  loaders_.push_back(std::make_unique<LoaderState>(type, parent));
+  return loaders_.back().get();
+}
+
+Status Vm::load_app(const apk::ApkFile& apk) {
+  std::optional<dex::DexFile> classes;
+  try {
+    classes = apk.read_classes_dex();
+  } catch (const support::ParseError& e) {
+    return Status::failure(std::string("load_app: ") + e.what());
+  }
+  if (!classes.has_value()) {
+    return Status::failure("load_app: no classes.dex");
+  }
+  app_loader_ = new_loader(LoaderType::AppPath, boot_loader_);
+  app_loader_->add_dex(
+      std::make_shared<const dex::DexFile>(*std::move(classes)));
+  return Status();
+}
+
+ObjRef Vm::make_object(std::string_view class_name, RuntimeClass* rt) {
+  auto obj = std::make_shared<VmObject>(next_object_id_++,
+                                        std::string(class_name));
+  obj->set_rt_class(rt);
+  return obj;
+}
+
+StackTrace Vm::current_stack_trace() const {
+  StackTrace trace;
+  trace.reserve(frames_.size());
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    trace.push_back(StackTraceElement{it->class_name, it->method_name});
+  }
+  return trace;
+}
+
+LoaderState* Vm::current_loader() const {
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    if (it->cls != nullptr) return it->cls->loader();
+  }
+  return app_loader_ != nullptr ? app_loader_ : boot_loader_;
+}
+
+void Vm::register_intrinsic(std::string_view cls, std::string_view method,
+                            Intrinsic fn) {
+  intrinsics_[std::string(cls) + "." + std::string(method)] = std::move(fn);
+  register_framework_class(cls);
+}
+
+void Vm::register_framework_class(std::string_view name,
+                                  std::string_view super) {
+  auto& entry = framework_super_[std::string(name)];
+  if (!super.empty()) entry = std::string(super);
+}
+
+const Intrinsic* Vm::find_intrinsic(const std::string& cls,
+                                    const std::string& method) const {
+  // Walk the framework class hierarchy: e.g. HttpURLConnection ->
+  // URLConnection for getInputStream.
+  std::string current = cls;
+  for (int hop = 0; hop < 16; ++hop) {
+    const auto it = intrinsics_.find(current + "." + method);
+    if (it != intrinsics_.end()) return &it->second;
+    const auto sup = framework_super_.find(current);
+    if (sup == framework_super_.end() || sup->second.empty()) break;
+    current = sup->second;
+  }
+  return nullptr;
+}
+
+Value Vm::call_intrinsic(const std::string& cls, const std::string& method,
+                         std::vector<Value> args) {
+  const auto* fn = find_intrinsic(cls, method);
+  if (fn == nullptr) {
+    throw make_exception("NoSuchMethodError: " + cls + "." + method);
+  }
+  frames_.push_back(Frame{nullptr, cls, method});
+  if (hooks_.on_api_call) hooks_.on_api_call(cls, method);
+  if (hooks_.on_intrinsic_call) hooks_.on_intrinsic_call(cls, method, args);
+  struct Pop {
+    std::vector<Frame>* f;
+    ~Pop() { f->pop_back(); }
+  } pop{&frames_};
+  // Dynamic taint: intrinsics conservatively pass argument taint through to
+  // their result; registered sources add their own label.
+  std::uint32_t taint = 0;
+  for (const auto& a : args) taint |= a.taint();
+  if (hooks_.taint_source) taint |= hooks_.taint_source(cls, method, args);
+  auto result = (*fn)(*this, args);
+  result.add_taint(taint);
+  return result;
+}
+
+RuntimeClass* Vm::load_class(LoaderState* loader, std::string_view name) {
+  if (loader == nullptr) loader = current_loader();
+  if (auto* cached = loader->cached(std::string(name))) return cached;
+  // Parent-first delegation.
+  if (loader->parent() != nullptr) {
+    // Recurse through parents without throwing.
+    RuntimeClass* from_parent = nullptr;
+    try {
+      from_parent = load_class(loader->parent(), name);
+    } catch (const VmException&) {
+      from_parent = nullptr;
+    }
+    if (from_parent != nullptr) return from_parent;
+  }
+  if (loader->type() == LoaderType::Boot) {
+    if (framework_super_.find(std::string(name)) != framework_super_.end() ||
+        is_framework_class(name)) {
+      auto rt = std::make_unique<RuntimeClass>(std::string(name), nullptr,
+                                               nullptr, loader);
+      return loader->define(std::move(rt));
+    }
+    throw make_exception("ClassNotFoundException: " + std::string(name));
+  }
+  const auto found = loader->find_local(name);
+  if (found.def == nullptr) {
+    throw make_exception("ClassNotFoundException: " + std::string(name));
+  }
+  auto rt = std::make_unique<RuntimeClass>(std::string(name), found.dex,
+                                           found.def, loader);
+  return loader->define(std::move(rt));
+}
+
+RuntimeClass* Vm::resolve_app_method(RuntimeClass* start,
+                                     std::string_view method_name,
+                                     const dex::Method** out) {
+  RuntimeClass* rc = start;
+  int hops = 0;
+  while (rc != nullptr && !rc->is_framework() && hops++ < 32) {
+    if (const auto* m = rc->def()->find_method(method_name)) {
+      *out = m;
+      return rc;
+    }
+    const auto& super = rc->super_name();
+    if (super.empty()) break;
+    try {
+      rc = load_class(rc->loader(), super);
+    } catch (const VmException&) {
+      break;
+    }
+  }
+  *out = nullptr;
+  return nullptr;
+}
+
+ObjRef Vm::instantiate(std::string_view class_name) {
+  RuntimeClass* rc = nullptr;
+  try {
+    rc = load_class(app_loader_, class_name);
+  } catch (const VmException&) {
+    // Packed apps (DEX encryption) declare components that only exist in a
+    // runtime-created loader: packers swizzle the component class loader, so
+    // component resolution falls through to loaders the app created.
+    for (const auto& loader : loaders_) {
+      if (loader->type() != LoaderType::RuntimeDex &&
+          loader->type() != LoaderType::RuntimePath) {
+        continue;
+      }
+      if (loader->find_local(class_name).def != nullptr) {
+        rc = load_class(loader.get(), class_name);
+        break;
+      }
+    }
+    if (rc == nullptr) throw;
+  }
+  auto obj = make_object(class_name, rc);
+  const dex::Method* init = nullptr;
+  if (auto* owner = resolve_app_method(rc, "<init>", &init);
+      owner != nullptr && init->num_params == 1) {
+    invoke(owner, *init, {Value(obj)});
+  }
+  return obj;
+}
+
+bool Vm::has_method(const ObjRef& receiver, std::string_view method_name) {
+  if (receiver == nullptr || receiver->rt_class() == nullptr) return false;
+  const dex::Method* m = nullptr;
+  return resolve_app_method(receiver->rt_class(), method_name, &m) != nullptr;
+}
+
+Value Vm::call_method(const ObjRef& receiver, std::string_view method_name,
+                      std::vector<Value> extra_args) {
+  if (receiver == nullptr || receiver->rt_class() == nullptr) {
+    throw make_exception("NullPointerException: call on null/framework obj");
+  }
+  const dex::Method* m = nullptr;
+  auto* owner = resolve_app_method(receiver->rt_class(), method_name, &m);
+  if (owner == nullptr) {
+    throw make_exception("NoSuchMethodError: " +
+                         receiver->class_name() + "." +
+                         std::string(method_name));
+  }
+  std::vector<Value> args;
+  args.reserve(1 + extra_args.size());
+  args.emplace_back(receiver);
+  for (auto& a : extra_args) args.push_back(std::move(a));
+  return invoke(owner, *m, std::move(args));
+}
+
+Value Vm::call_static(std::string_view class_name,
+                      std::string_view method_name, std::vector<Value> args) {
+  auto* rc = load_class(app_loader_, class_name);
+  const dex::Method* m =
+      rc->is_framework() ? nullptr : rc->def()->find_method(method_name);
+  if (m == nullptr) {
+    throw make_exception("NoSuchMethodError: " + std::string(class_name) +
+                         "." + std::string(method_name));
+  }
+  return invoke(rc, *m, std::move(args));
+}
+
+Value Vm::invoke(RuntimeClass* cls, const dex::Method& method,
+                 std::vector<Value> args) {
+  if (frames_.empty()) steps_ = 0;  // fresh entry: reset the ANR budget
+  if (method.is_native()) {
+    const auto symbol = find_native_symbol(method.name);
+    if (!symbol.has_value()) {
+      throw make_exception("UnsatisfiedLinkError: " + method.name);
+    }
+    return execute_body(symbol->cls, *symbol->method, std::move(args));
+  }
+  return execute_body(cls, method, std::move(args));
+}
+
+Value Vm::execute_body(RuntimeClass* cls, const dex::Method& method,
+                       std::vector<Value> args) {
+  if (static_cast<int>(frames_.size()) >= limits_.max_call_depth) {
+    throw make_exception("StackOverflowError");
+  }
+  frames_.push_back(Frame{cls, cls->name(), method.name});
+  struct Pop {
+    std::vector<Frame>* f;
+    ~Pop() { f->pop_back(); }
+  } pop{&frames_};
+
+  const auto& dexf = *cls->dex();
+  std::vector<Value> regs(method.num_registers);
+  for (std::size_t i = 0; i < args.size() && i < regs.size(); ++i) {
+    regs[i] = std::move(args[i]);
+  }
+  Value last_result;
+
+  // Active exception handlers: (message register, handler pc). Pushed by
+  // TryEnter, popped by TryExit or when an exception dispatches.
+  std::vector<std::pair<std::uint16_t, std::int32_t>> handlers;
+
+  std::size_t pc = 0;
+  while (pc < method.code.size()) {
+    if (++steps_ > limits_.max_steps_per_entry) {
+      throw make_exception("ANR: step budget exhausted");
+    }
+    const auto& ins = method.code[pc];
+    using dex::Op;
+    try {
+    switch (ins.op) {
+      case Op::Nop:
+        break;
+      case Op::ConstInt:
+        regs[ins.a] = Value(ins.imm);
+        break;
+      case Op::ConstStr:
+        regs[ins.a] = Value(dexf.string_at(ins.name));
+        break;
+      case Op::Move:
+        regs[ins.a] = regs[ins.b];
+        break;
+      case Op::MoveResult:
+        regs[ins.a] = last_result;
+        break;
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::Div:
+      case Op::Rem:
+      case Op::Concat:
+      case Op::CmpEq:
+      case Op::CmpLt: {
+        Value out;
+        switch (ins.op) {
+          case Op::Add:
+            out = Value(regs[ins.b].as_int() + regs[ins.c].as_int());
+            break;
+          case Op::Sub:
+            out = Value(regs[ins.b].as_int() - regs[ins.c].as_int());
+            break;
+          case Op::Mul:
+            out = Value(regs[ins.b].as_int() * regs[ins.c].as_int());
+            break;
+          case Op::Div: {
+            const auto d = regs[ins.c].as_int();
+            if (d == 0) throw make_exception("ArithmeticException: / by zero");
+            out = Value(regs[ins.b].as_int() / d);
+            break;
+          }
+          case Op::Rem: {
+            const auto d = regs[ins.c].as_int();
+            if (d == 0) throw make_exception("ArithmeticException: % by zero");
+            out = Value(regs[ins.b].as_int() % d);
+            break;
+          }
+          case Op::Concat:
+            out = Value(regs[ins.b].display() + regs[ins.c].display());
+            break;
+          case Op::CmpEq:
+            out = Value(regs[ins.b].equals(regs[ins.c]) ? 1 : 0);
+            break;
+          default:
+            out = Value(regs[ins.b].as_int() < regs[ins.c].as_int() ? 1 : 0);
+            break;
+        }
+        // TaintDroid-style data-flow propagation through arithmetic.
+        out.add_taint(regs[ins.b].taint() | regs[ins.c].taint());
+        regs[ins.a] = std::move(out);
+        break;
+      }
+      case Op::IfEqz:
+        if (!regs[ins.a].truthy()) {
+          pc = static_cast<std::size_t>(ins.target);
+          continue;
+        }
+        break;
+      case Op::IfNez:
+        if (regs[ins.a].truthy()) {
+          pc = static_cast<std::size_t>(ins.target);
+          continue;
+        }
+        break;
+      case Op::Goto:
+        pc = static_cast<std::size_t>(ins.target);
+        continue;
+      case Op::NewInstance: {
+        const auto& name = dexf.string_at(ins.cls);
+        RuntimeClass* rt = nullptr;
+        try {
+          rt = load_class(cls->loader(), name);
+        } catch (const VmException&) {
+          rt = nullptr;
+        }
+        if (rt != nullptr && rt->is_framework()) rt = nullptr;
+        if (rt == nullptr && !is_framework_class(name) &&
+            framework_super_.find(name) == framework_super_.end()) {
+          throw make_exception("ClassNotFoundException: " + name);
+        }
+        regs[ins.a] = Value(make_object(name, rt));
+        break;
+      }
+      case Op::InvokeStatic:
+      case Op::InvokeVirtual:
+        last_result = dispatch_invoke(cls, dexf, ins, regs);
+        break;
+      case Op::IGet: {
+        const auto& obj = regs[ins.b];
+        if (!obj.is_obj() || obj.as_obj() == nullptr) {
+          throw make_exception("NullPointerException: iget");
+        }
+        regs[ins.a] = obj.as_obj()->get_field(dexf.string_at(ins.name));
+        break;
+      }
+      case Op::IPut: {
+        const auto& obj = regs[ins.b];
+        if (!obj.is_obj() || obj.as_obj() == nullptr) {
+          throw make_exception("NullPointerException: iput");
+        }
+        obj.as_obj()->set_field(dexf.string_at(ins.name), regs[ins.a]);
+        break;
+      }
+      case Op::SGet: {
+        auto* rt = load_class(cls->loader(), dexf.string_at(ins.cls));
+        regs[ins.a] = rt->get_static(dexf.string_at(ins.name));
+        break;
+      }
+      case Op::SPut: {
+        auto* rt = load_class(cls->loader(), dexf.string_at(ins.cls));
+        rt->set_static(dexf.string_at(ins.name), regs[ins.a]);
+        break;
+      }
+      case Op::Return:
+        return regs[ins.a];
+      case Op::ReturnVoid:
+        return Value();
+      case Op::Throw:
+        throw make_exception(regs[ins.a].display());
+      case Op::TryEnter:
+        handlers.emplace_back(ins.a, ins.target);
+        break;
+      case Op::TryExit:
+        if (!handlers.empty()) handlers.pop_back();
+        break;
+    }
+    } catch (const VmException& e) {
+      // Budget violations are fatal by design: apps must not be able to
+      // catch their way around the ANR/recursion guards.
+      const std::string what = e.what();
+      if (handlers.empty() || what.rfind("ANR", 0) == 0 ||
+          what.rfind("StackOverflowError", 0) == 0) {
+        throw;
+      }
+      const auto [reg, handler_pc] = handlers.back();
+      handlers.pop_back();
+      regs[reg] = Value(what);
+      pc = static_cast<std::size_t>(handler_pc);
+      continue;
+    }
+    ++pc;
+  }
+  return Value();
+}
+
+Value Vm::dispatch_invoke(RuntimeClass* caller_cls, const dex::DexFile& dexf,
+                          const dex::Instruction& ins,
+                          std::vector<Value>& regs) {
+  const auto& cls_name = dexf.string_at(ins.cls);
+  const auto& method_name = dexf.string_at(ins.name);
+  std::vector<Value> args;
+  args.reserve(ins.argc);
+  for (std::uint8_t i = 0; i < ins.argc; ++i) args.push_back(regs[ins.args[i]]);
+
+  if (ins.op == dex::Op::InvokeVirtual) {
+    if (args.empty() || !args[0].is_obj() || args[0].as_obj() == nullptr) {
+      throw make_exception("NullPointerException: invoke-virtual on null (" +
+                           cls_name + "." + method_name + ")");
+    }
+    const auto& receiver = args[0].as_obj();
+    if (auto* start = receiver->rt_class()) {
+      const dex::Method* m = nullptr;
+      if (auto* owner = resolve_app_method(start, method_name, &m)) {
+        return invoke(owner, *m, std::move(args));
+      }
+    }
+    // Framework object, or app class inheriting a framework method:
+    // dispatch by the receiver's dynamic class first, then superclass walk,
+    // then by the declared class.
+    if (find_intrinsic(receiver->class_name(), method_name) != nullptr) {
+      return call_intrinsic(receiver->class_name(), method_name,
+                            std::move(args));
+    }
+    if (auto* start = receiver->rt_class()) {
+      // Walk to the nearest framework superclass name for intrinsic lookup.
+      RuntimeClass* rc = start;
+      int hops = 0;
+      while (rc != nullptr && !rc->is_framework() && hops++ < 32) {
+        const auto& super = rc->super_name();
+        if (super.empty()) break;
+        if (find_intrinsic(super, method_name) != nullptr) {
+          return call_intrinsic(super, method_name, std::move(args));
+        }
+        RuntimeClass* next = nullptr;
+        try {
+          next = load_class(rc->loader(), super);
+        } catch (const VmException&) {
+          break;
+        }
+        if (next->is_framework()) break;
+        rc = next;
+      }
+    }
+    return call_intrinsic(cls_name, method_name, std::move(args));
+  }
+
+  // InvokeStatic: app classes first (through the caller's loader), then
+  // framework intrinsics.
+  RuntimeClass* rt = nullptr;
+  try {
+    rt = load_class(caller_cls->loader(), cls_name);
+  } catch (const VmException&) {
+    rt = nullptr;
+  }
+  if (rt != nullptr && !rt->is_framework()) {
+    if (const auto* m = rt->def()->find_method(method_name)) {
+      return invoke(rt, *m, std::move(args));
+    }
+  }
+  return call_intrinsic(cls_name, method_name, std::move(args));
+}
+
+LoaderState* Vm::create_runtime_loader(LoaderKind kind,
+                                       const std::string& dex_path,
+                                       const std::string& optimized_dir,
+                                       LoaderState* parent) {
+  if (hooks_.on_dex_load) {
+    hooks_.on_dex_load(kind, dex_path, optimized_dir, current_stack_trace());
+  }
+  auto* loader = new_loader(kind == LoaderKind::DexClassLoader
+                                ? LoaderType::RuntimeDex
+                                : LoaderType::RuntimePath,
+                            parent != nullptr ? parent : app_loader_);
+  for (const auto& path : support::split(dex_path, ':')) {
+    if (path.empty()) continue;
+    const auto& bytes = read_file_or_throw(path);
+    std::shared_ptr<const dex::DexFile> parsed;
+    try {
+      if (apk::looks_like_apk(bytes)) {
+        const auto pkg = apk::ApkFile::deserialize(bytes);
+        auto inner = pkg.read_classes_dex();
+        if (!inner.has_value()) {
+          throw make_exception("IOException: no classes.dex in " + path);
+        }
+        parsed = std::make_shared<const dex::DexFile>(*std::move(inner));
+      } else if (dex::looks_like_dex(bytes)) {
+        parsed =
+            std::make_shared<const dex::DexFile>(dex::DexFile::deserialize(bytes));
+      } else {
+        throw make_exception("IOException: not a dex/apk file: " + path);
+      }
+    } catch (const support::ParseError& e) {
+      throw make_exception(std::string("IOException: bad dex: ") + e.what());
+    }
+    loader->add_dex(std::move(parsed));
+    if (!optimized_dir.empty()) {
+      // Emit the odex by-product; best-effort (a full disk must not crash
+      // the load itself).
+      const auto odex = optimized_dir + "/" + basename_no_ext(path) + ".odex";
+      const auto status =
+          device_->vfs().write_file(app_.principal(), odex, bytes);
+      if (!status) record_event("odex_write_failed", status.error());
+    }
+  }
+  return loader;
+}
+
+void Vm::load_native_library(const std::string& path) {
+  if (hooks_.on_native_load) {
+    hooks_.on_native_load(path, current_stack_trace());
+  }
+  if (path.starts_with(os::kSystemLibDir)) {
+    // Trusted OS-vendor library: modelled as an opaque success.
+    return;
+  }
+  for (const auto& loaded : natives_) {
+    if (loaded->path == path) return;  // already linked
+  }
+  const auto& bytes = read_file_or_throw(path);
+  nativebin::NativeLibrary lib;
+  try {
+    lib = nativebin::NativeLibrary::deserialize(bytes);
+  } catch (const support::ParseError& e) {
+    throw make_exception(std::string("UnsatisfiedLinkError: ") + e.what());
+  }
+  auto* loader = new_loader(LoaderType::NativeLib, boot_loader_);
+  auto holder = std::make_unique<LoadedNative>();
+  holder->path = path;
+  holder->lib = std::move(lib);
+  holder->loader = loader;
+  loader->add_dex(std::make_shared<const dex::DexFile>(
+      holder->lib.code()));  // copy: loader owns an immutable snapshot
+  natives_.push_back(std::move(holder));
+}
+
+void Vm::load_native_library_by_name(const std::string& name) {
+  const auto file = nativebin::map_library_name(name);
+  const auto app_lib =
+      os::internal_storage_dir(app_.package()) + "/lib/" + file;
+  if (device_->vfs().exists(app_lib)) {
+    load_native_library(app_lib);
+    return;
+  }
+  const auto sys_lib = std::string(os::kSystemLibDir) + "/" + file;
+  if (device_->vfs().exists(sys_lib)) {
+    load_native_library(sys_lib);
+    return;
+  }
+  throw make_exception("UnsatisfiedLinkError: library not found: " + name);
+}
+
+std::optional<Vm::NativeSymbol> Vm::find_native_symbol(std::string_view name) {
+  for (const auto& loaded : natives_) {
+    const auto symbol = loaded->lib.find_symbol(name);
+    if (symbol.has_value()) {
+      auto* rc = load_class(loaded->loader, symbol->cls->name);
+      // Locate the method inside the loader's snapshot (the lib's own
+      // DexFile copy), not the original.
+      const auto* m = rc->def()->find_method(name);
+      if (m != nullptr) return NativeSymbol{rc, m};
+    }
+  }
+  return std::nullopt;
+}
+
+void Vm::record_event(std::string kind, std::string detail) {
+  events_.push_back(VmEvent{std::move(kind), std::move(detail)});
+}
+
+const support::Bytes& Vm::read_file_or_throw(const std::string& path) {
+  const auto* data = device_->vfs().read_file(path);
+  if (data == nullptr) {
+    throw make_exception("FileNotFoundException: " + path);
+  }
+  return *data;
+}
+
+void Vm::write_file_as_app(const std::string& path, support::Bytes data) {
+  const auto status =
+      device_->vfs().write_file(app_.principal(), path, std::move(data));
+  if (!status) {
+    throw make_exception("IOException: " + status.error());
+  }
+  if (hooks_.on_file_written) hooks_.on_file_written(path);
+}
+
+void Vm::emit_flow(const FlowNode& from, const FlowNode& to) {
+  if (hooks_.on_flow) hooks_.on_flow(from, to);
+}
+
+}  // namespace dydroid::vm

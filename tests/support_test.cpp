@@ -1,0 +1,181 @@
+// Unit tests for support: byte IO, hashing, RNG determinism, strings.
+#include <gtest/gtest.h>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace dydroid::support {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, RoundTripStringsAndBlobs) {
+  ByteWriter w;
+  w.str("hello");
+  w.str("");
+  w.blob(to_bytes("payload"));
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(to_string(r.blob()), "payload");
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  (void)r.u8();
+  (void)r.u8();
+  EXPECT_THROW((void)r.u8(), ParseError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  ByteWriter w;
+  w.u32(100);  // declares 100 bytes but provides none
+  ByteReader r(w.data());
+  EXPECT_THROW((void)r.str(), ParseError);
+}
+
+TEST(Hash, Fnv1aKnownProperties) {
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_EQ(fnv1a64("dydroid"), fnv1a64("dydroid"));
+  EXPECT_NE(fnv1a64(""), 0u);
+}
+
+TEST(Hash, Crc32MatchesIeeeVector) {
+  // Standard check value for "123456789".
+  const auto data = to_bytes("123456789");
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(3, 6);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 6);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.03);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a::b:", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join({"x", "y", "z"}, "."), "x.y.z");
+  EXPECT_EQ(join({}, "."), "");
+}
+
+TEST(Strings, PackageOf) {
+  EXPECT_EQ(package_of("com.example.app.Main"), "com.example.app");
+  EXPECT_EQ(package_of("Main"), "");
+}
+
+TEST(Strings, PackagePrefixBoundaries) {
+  EXPECT_TRUE(package_has_prefix("com.foo.bar", "com.foo"));
+  EXPECT_TRUE(package_has_prefix("com.foo", "com.foo"));
+  EXPECT_FALSE(package_has_prefix("com.foobar", "com.foo"));
+  EXPECT_FALSE(package_has_prefix("com.foo", ""));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  auto bad = Result<int>::failure("boom");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "boom");
+  EXPECT_THROW((void)bad.value(), std::logic_error);
+}
+
+TEST(Status, DefaultOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  auto f = Status::failure("nope");
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.error(), "nope");
+}
+
+}  // namespace
+}  // namespace dydroid::support

@@ -1,0 +1,316 @@
+// dydroid — command-line front end.
+//
+//   dydroid gen <out.sapk> [--pkg P] [--ad] [--baidu] [--analytics]
+//               [--own-dex] [--native] [--malware FAMILY] [--vuln KIND]
+//               [--pack] [--lexical] [--seed N]
+//       Generate a SimApk from behaviour flags (writes side-car files
+//       <out>.hosted.<i> for any remote payloads the app needs).
+//
+//   dydroid analyze <app.sapk> [--seed N] [--host URL FILE]...
+//       Run the full pipeline on one app; print the JSON report.
+//
+//   dydroid disasm <app.sapk>
+//       Decompile and print the smali-like listing (fails on
+//       anti-decompilation, like the real tooling).
+//
+//   dydroid pack <in.sapk> <out.sapk> [--trap]
+//       Apply the DEX-encryption packer.
+//
+//   dydroid survey [--scale S] [--seed N]
+//       Generate a corpus and print the Section-V style summary.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/decompiler.hpp"
+#include "appgen/corpus.hpp"
+#include "core/pipeline.hpp"
+#include "core/report_json.hpp"
+#include "core/unpacker.hpp"
+#include "malware/families.hpp"
+#include "obfuscation/packer.hpp"
+#include "support/log.hpp"
+
+using namespace dydroid;
+
+namespace {
+
+support::Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return support::Bytes(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const support::Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // --k v (or "" for flags)
+  std::vector<std::pair<std::string, std::string>> hosts;  // --host URL FILE
+
+  bool flag(const std::string& name) const {
+    return options.find(name) != options.end();
+  }
+  std::string value(const std::string& name, std::string fallback) const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv, int first,
+           const std::set<std::string>& value_opts) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--host" && i + 2 < argc) {
+      args.hosts.emplace_back(argv[i + 1], argv[i + 2]);
+      i += 2;
+    } else if (a.rfind("--", 0) == 0) {
+      const auto key = a.substr(2);
+      if (value_opts.count(key) != 0 && i + 1 < argc) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "";
+      }
+    } else {
+      args.positional.push_back(std::move(a));
+    }
+  }
+  return args;
+}
+
+int cmd_gen(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "gen: missing output path\n");
+    return 2;
+  }
+  appgen::AppSpec spec;
+  spec.package = args.value("pkg", "com.example.generated");
+  spec.category = args.value("category", "Tools");
+  spec.ad_sdk = args.flag("ad");
+  spec.baidu_remote_sdk = args.flag("baidu");
+  spec.analytics_sdk = args.flag("analytics");
+  spec.own_dex_dcl = args.flag("own-dex");
+  spec.sdk_native_dcl = args.flag("native");
+  spec.lexical = args.flag("lexical");
+  spec.dex_encryption = args.flag("pack");
+  spec.reflection = args.flag("reflection");
+  if (args.flag("malware")) {
+    const auto name = args.value("malware", "swiss");
+    malware::Family family = malware::Family::SwissCodeMonkeys;
+    if (name == "adware") family = malware::Family::AdwareAirpushMinimob;
+    if (name == "chathook") family = malware::Family::ChathookPtrace;
+    spec.malware.push_back(appgen::MalwarePayloadSpec{family, {}});
+  }
+  if (args.flag("vuln")) {
+    const auto kind = args.value("vuln", "dex-external");
+    spec.vuln = kind == "native-other"
+                    ? appgen::VulnKind::NativeOtherAppInternal
+                    : appgen::VulnKind::DexExternalStorage;
+    spec.min_sdk = 16;
+  }
+  support::Rng rng(std::stoull(args.value("seed", "1")));
+  const auto app = appgen::build_app(spec, rng);
+  write_file(args.positional[0], app.apk);
+  std::printf("wrote %s (%zu bytes, package %s)\n",
+              args.positional[0].c_str(), app.apk.size(),
+              spec.package.c_str());
+  // Side-car files so `analyze --host` can serve them.
+  int i = 0;
+  for (const auto& [url, payload] : app.scenario.hosted_urls) {
+    const auto side = args.positional[0] + ".hosted." + std::to_string(i++);
+    write_file(side, payload);
+    std::printf("  remote dependency: --host %s %s\n", url.c_str(),
+                side.c_str());
+  }
+  i = 0;
+  for (const auto& companion : app.scenario.companion_apks) {
+    const auto side = args.positional[0] + ".companion." + std::to_string(i++);
+    write_file(side, companion);
+    std::printf("  companion app: --companion %s\n", side.c_str());
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "analyze: missing input path\n");
+    return 2;
+  }
+  const auto bytes = read_file(args.positional[0]);
+  core::PipelineOptions options;
+  std::vector<std::pair<std::string, support::Bytes>> hosted;
+  for (const auto& [url, file] : args.hosts) {
+    hosted.emplace_back(url, read_file(file));
+  }
+  std::vector<support::Bytes> companions;
+  if (args.flag("companion")) {
+    companions.push_back(read_file(args.value("companion", "")));
+  }
+  options.scenario_setup = [hosted, companions](os::Device& device) {
+    for (const auto& [url, payload] : hosted) {
+      device.network().host(url, payload);
+    }
+    for (const auto& companion : companions) {
+      (void)device.install(apk::ApkFile::deserialize(companion));
+    }
+  };
+  malware::DroidNative detector(0.9);
+  {
+    support::Rng rng(0xD401DA);
+    for (int f = 0; f < malware::kNumFamilies; ++f) {
+      const auto family = malware::family_at(f);
+      for (const auto& s :
+           malware::generate_training_samples(family, 4, rng)) {
+        detector.train(malware::family_name(family), s);
+      }
+    }
+  }
+  options.detector = &detector;
+  core::DyDroid pipeline(std::move(options));
+  const auto report =
+      pipeline.analyze(bytes, std::stoull(args.value("seed", "1")));
+  std::printf("%s", core::report_to_json(report).c_str());
+  return 0;
+}
+
+int cmd_disasm(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "disasm: missing input path\n");
+    return 2;
+  }
+  const auto ir = analysis::decompile(read_file(args.positional[0]));
+  if (!ir.ok()) {
+    std::fprintf(stderr, "decompilation failed (anti-decompilation?): %s\n",
+                 ir.error().c_str());
+    return 1;
+  }
+  std::printf("%s\n-- manifest --\n%s", ir.value().smali.c_str(),
+              ir.value().manifest.to_text().c_str());
+  return 0;
+}
+
+int cmd_pack(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "pack: need <in> <out>\n");
+    return 2;
+  }
+  const auto apk = apk::ApkFile::deserialize(read_file(args.positional[0]));
+  obfuscation::PackerOptions options;
+  options.anti_repackaging = args.flag("trap");
+  const auto packed = obfuscation::pack(apk, options);
+  write_file(args.positional[1], packed.serialize());
+  std::printf("packed -> %s\n", args.positional[1].c_str());
+  return 0;
+}
+
+int cmd_unpack(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "unpack: need <in> <out>\n");
+    return 2;
+  }
+  const auto result = core::unpack_packed_app(
+      read_file(args.positional[0]),
+      std::stoull(args.value("seed", "1")));
+  if (!result.ok()) {
+    std::fprintf(stderr, "unpack failed: %s\n", result.error().c_str());
+    return 1;
+  }
+  write_file(args.positional[1], result.value().apk.serialize());
+  std::printf("recovered payload from %s -> %s\n",
+              result.value().payload_path.c_str(),
+              args.positional[1].c_str());
+  return 0;
+}
+
+int cmd_survey(const Args& args) {
+  support::set_log_level(support::LogLevel::Error);
+  appgen::CorpusConfig config;
+  config.scale = std::stod(args.value("scale", "0.02"));
+  config.seed = std::stoull(args.value("seed", "20161101"));
+  const auto corpus = appgen::generate_corpus(config);
+  malware::DroidNative detector(0.9);
+  {
+    support::Rng rng(0xD401DA);
+    for (int f = 0; f < malware::kNumFamilies; ++f) {
+      const auto family = malware::family_at(f);
+      for (const auto& s :
+           malware::generate_training_samples(family, 4, rng)) {
+        detector.train(malware::family_name(family), s);
+      }
+    }
+  }
+  std::size_t intercepted = 0, remote = 0, malware_apps = 0, vulns = 0;
+  std::uint64_t seed = 1;
+  for (const auto& app : corpus.apps) {
+    core::PipelineOptions options;
+    options.detector = &detector;
+    options.scenario_setup = [&app](os::Device& device) {
+      appgen::apply_scenario(app.scenario, device);
+    };
+    core::DyDroid pipeline(std::move(options));
+    const auto report = pipeline.analyze(app.apk, seed++);
+    if (report.intercepted(core::CodeKind::Dex) ||
+        report.intercepted(core::CodeKind::Native)) {
+      ++intercepted;
+    }
+    if (!report.remote_loaded().empty()) ++remote;
+    if (!report.malware_loaded().empty()) ++malware_apps;
+    if (!report.vulns.empty()) ++vulns;
+  }
+  std::printf(
+      "surveyed %zu apps: %zu intercepted DCL, %zu remote loaders, "
+      "%zu malware carriers, %zu vulnerable\n",
+      corpus.apps.size(), intercepted, remote, malware_apps, vulns);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dydroid <gen|analyze|disasm|pack|unpack|survey> ...\n"
+               "  gen <out.sapk> [--pkg P] [--ad] [--baidu] [--analytics]\n"
+               "      [--own-dex] [--native] [--malware swiss|adware|chathook]\n"
+               "      [--vuln dex-external|native-other] [--pack] [--lexical]\n"
+               "      [--reflection] [--seed N]\n"
+               "  analyze <app.sapk> [--seed N] [--host URL FILE]...\n"
+               "      [--companion FILE]\n"
+               "  disasm <app.sapk>\n"
+               "  pack <in.sapk> <out.sapk> [--trap]\n"
+               "  unpack <packed.sapk> <out.sapk> [--seed N]\n"
+               "  survey [--scale S] [--seed N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const std::set<std::string> value_opts = {
+      "pkg", "category", "seed", "malware", "vuln", "scale", "companion"};
+  const auto args = parse(argc, argv, 2, value_opts);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "disasm") return cmd_disasm(args);
+    if (cmd == "pack") return cmd_pack(args);
+    if (cmd == "unpack") return cmd_unpack(args);
+    if (cmd == "survey") return cmd_survey(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dydroid: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
