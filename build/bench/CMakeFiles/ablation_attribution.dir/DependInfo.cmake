@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_attribution.cpp" "bench/CMakeFiles/ablation_attribution.dir/ablation_attribution.cpp.o" "gcc" "bench/CMakeFiles/ablation_attribution.dir/ablation_attribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dydroid_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/appgen/CMakeFiles/dydroid_appgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dydroid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/monkey/CMakeFiles/dydroid_monkey.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dydroid_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/dydroid_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/dydroid_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dydroid_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dydroid_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/apk/CMakeFiles/dydroid_apk.dir/DependInfo.cmake"
+  "/root/repo/build/src/nativebin/CMakeFiles/dydroid_nativebin.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/dydroid_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/dydroid_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dydroid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

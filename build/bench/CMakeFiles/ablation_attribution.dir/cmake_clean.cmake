@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attribution.dir/ablation_attribution.cpp.o"
+  "CMakeFiles/ablation_attribution.dir/ablation_attribution.cpp.o.d"
+  "ablation_attribution"
+  "ablation_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flow_tracking.dir/ablation_flow_tracking.cpp.o"
+  "CMakeFiles/ablation_flow_tracking.dir/ablation_flow_tracking.cpp.o.d"
+  "ablation_flow_tracking"
+  "ablation_flow_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flow_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mediation.dir/ablation_mediation.cpp.o"
+  "CMakeFiles/ablation_mediation.dir/ablation_mediation.cpp.o.d"
+  "ablation_mediation"
+  "ablation_mediation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mediation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

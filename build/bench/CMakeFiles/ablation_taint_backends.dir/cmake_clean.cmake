@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_taint_backends.dir/ablation_taint_backends.cpp.o"
+  "CMakeFiles/ablation_taint_backends.dir/ablation_taint_backends.cpp.o.d"
+  "ablation_taint_backends"
+  "ablation_taint_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_taint_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

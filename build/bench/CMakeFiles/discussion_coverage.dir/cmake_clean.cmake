@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discussion_coverage.dir/discussion_coverage.cpp.o"
+  "CMakeFiles/discussion_coverage.dir/discussion_coverage.cpp.o.d"
+  "discussion_coverage"
+  "discussion_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

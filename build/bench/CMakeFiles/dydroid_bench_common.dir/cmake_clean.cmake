@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_bench_common.dir/common.cpp.o"
+  "CMakeFiles/dydroid_bench_common.dir/common.cpp.o.d"
+  "libdydroid_bench_common.a"
+  "libdydroid_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_dex_encryption_categories.dir/fig03_dex_encryption_categories.cpp.o"
+  "CMakeFiles/fig03_dex_encryption_categories.dir/fig03_dex_encryption_categories.cpp.o.d"
+  "fig03_dex_encryption_categories"
+  "fig03_dex_encryption_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_dex_encryption_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_dex_encryption_categories.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_flow_rules.dir/table01_flow_rules.cpp.o"
+  "CMakeFiles/table01_flow_rules.dir/table01_flow_rules.cpp.o.d"
+  "table01_flow_rules"
+  "table01_flow_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_flow_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_dynamic_summary.dir/table02_dynamic_summary.cpp.o"
+  "CMakeFiles/table02_dynamic_summary.dir/table02_dynamic_summary.cpp.o.d"
+  "table02_dynamic_summary"
+  "table02_dynamic_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_dynamic_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_popularity.dir/table03_popularity.cpp.o"
+  "CMakeFiles/table03_popularity.dir/table03_popularity.cpp.o.d"
+  "table03_popularity"
+  "table03_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

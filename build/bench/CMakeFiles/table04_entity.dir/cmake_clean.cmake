@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_entity.dir/table04_entity.cpp.o"
+  "CMakeFiles/table04_entity.dir/table04_entity.cpp.o.d"
+  "table04_entity"
+  "table04_entity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_entity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

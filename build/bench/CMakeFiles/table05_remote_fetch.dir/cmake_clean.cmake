@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_remote_fetch.dir/table05_remote_fetch.cpp.o"
+  "CMakeFiles/table05_remote_fetch.dir/table05_remote_fetch.cpp.o.d"
+  "table05_remote_fetch"
+  "table05_remote_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_remote_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_obfuscation.dir/table06_obfuscation.cpp.o"
+  "CMakeFiles/table06_obfuscation.dir/table06_obfuscation.cpp.o.d"
+  "table06_obfuscation"
+  "table06_obfuscation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

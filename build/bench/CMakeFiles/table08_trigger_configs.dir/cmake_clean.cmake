@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_trigger_configs.dir/table08_trigger_configs.cpp.o"
+  "CMakeFiles/table08_trigger_configs.dir/table08_trigger_configs.cpp.o.d"
+  "table08_trigger_configs"
+  "table08_trigger_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_trigger_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

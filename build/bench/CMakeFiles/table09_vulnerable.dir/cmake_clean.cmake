@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_vulnerable.dir/table09_vulnerable.cpp.o"
+  "CMakeFiles/table09_vulnerable.dir/table09_vulnerable.cpp.o.d"
+  "table09_vulnerable"
+  "table09_vulnerable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_vulnerable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

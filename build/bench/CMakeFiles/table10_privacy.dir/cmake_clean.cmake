@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_privacy.dir/table10_privacy.cpp.o"
+  "CMakeFiles/table10_privacy.dir/table10_privacy.cpp.o.d"
+  "table10_privacy"
+  "table10_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

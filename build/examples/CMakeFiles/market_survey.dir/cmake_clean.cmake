@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_survey.dir/market_survey.cpp.o"
+  "CMakeFiles/market_survey.dir/market_survey.cpp.o.d"
+  "market_survey"
+  "market_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

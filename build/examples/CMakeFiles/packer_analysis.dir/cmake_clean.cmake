@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packer_analysis.dir/packer_analysis.cpp.o"
+  "CMakeFiles/packer_analysis.dir/packer_analysis.cpp.o.d"
+  "packer_analysis"
+  "packer_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packer_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

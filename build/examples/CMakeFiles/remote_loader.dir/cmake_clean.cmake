@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_loader.dir/remote_loader.cpp.o"
+  "CMakeFiles/remote_loader.dir/remote_loader.cpp.o.d"
+  "remote_loader"
+  "remote_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

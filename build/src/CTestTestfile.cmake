@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("dex")
+subdirs("nativebin")
+subdirs("manifest")
+subdirs("apk")
+subdirs("os")
+subdirs("vm")
+subdirs("monkey")
+subdirs("analysis")
+subdirs("obfuscation")
+subdirs("malware")
+subdirs("privacy")
+subdirs("core")
+subdirs("appgen")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/dydroid_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/dydroid_analysis.dir/decompiler.cpp.o"
+  "CMakeFiles/dydroid_analysis.dir/decompiler.cpp.o.d"
+  "CMakeFiles/dydroid_analysis.dir/rewriter.cpp.o"
+  "CMakeFiles/dydroid_analysis.dir/rewriter.cpp.o.d"
+  "libdydroid_analysis.a"
+  "libdydroid_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

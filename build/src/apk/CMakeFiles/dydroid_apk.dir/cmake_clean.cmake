@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_apk.dir/apk.cpp.o"
+  "CMakeFiles/dydroid_apk.dir/apk.cpp.o.d"
+  "libdydroid_apk.a"
+  "libdydroid_apk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_apk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

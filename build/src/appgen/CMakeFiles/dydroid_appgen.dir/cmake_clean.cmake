@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_appgen.dir/corpus.cpp.o"
+  "CMakeFiles/dydroid_appgen.dir/corpus.cpp.o.d"
+  "CMakeFiles/dydroid_appgen.dir/generator.cpp.o"
+  "CMakeFiles/dydroid_appgen.dir/generator.cpp.o.d"
+  "CMakeFiles/dydroid_appgen.dir/spec.cpp.o"
+  "CMakeFiles/dydroid_appgen.dir/spec.cpp.o.d"
+  "libdydroid_appgen.a"
+  "libdydroid_appgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_appgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

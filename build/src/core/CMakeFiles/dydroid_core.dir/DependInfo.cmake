@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dcl_log.cpp" "src/core/CMakeFiles/dydroid_core.dir/dcl_log.cpp.o" "gcc" "src/core/CMakeFiles/dydroid_core.dir/dcl_log.cpp.o.d"
+  "/root/repo/src/core/download_tracker.cpp" "src/core/CMakeFiles/dydroid_core.dir/download_tracker.cpp.o" "gcc" "src/core/CMakeFiles/dydroid_core.dir/download_tracker.cpp.o.d"
+  "/root/repo/src/core/dynamic_taint.cpp" "src/core/CMakeFiles/dydroid_core.dir/dynamic_taint.cpp.o" "gcc" "src/core/CMakeFiles/dydroid_core.dir/dynamic_taint.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/dydroid_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/dydroid_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/interceptor.cpp" "src/core/CMakeFiles/dydroid_core.dir/interceptor.cpp.o" "gcc" "src/core/CMakeFiles/dydroid_core.dir/interceptor.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/dydroid_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dydroid_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "src/core/CMakeFiles/dydroid_core.dir/report_json.cpp.o" "gcc" "src/core/CMakeFiles/dydroid_core.dir/report_json.cpp.o.d"
+  "/root/repo/src/core/static_filter.cpp" "src/core/CMakeFiles/dydroid_core.dir/static_filter.cpp.o" "gcc" "src/core/CMakeFiles/dydroid_core.dir/static_filter.cpp.o.d"
+  "/root/repo/src/core/unpacker.cpp" "src/core/CMakeFiles/dydroid_core.dir/unpacker.cpp.o" "gcc" "src/core/CMakeFiles/dydroid_core.dir/unpacker.cpp.o.d"
+  "/root/repo/src/core/vulnerability.cpp" "src/core/CMakeFiles/dydroid_core.dir/vulnerability.cpp.o" "gcc" "src/core/CMakeFiles/dydroid_core.dir/vulnerability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/dydroid_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/monkey/CMakeFiles/dydroid_monkey.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dydroid_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/dydroid_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/dydroid_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dydroid_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/apk/CMakeFiles/dydroid_apk.dir/DependInfo.cmake"
+  "/root/repo/build/src/nativebin/CMakeFiles/dydroid_nativebin.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/dydroid_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/dydroid_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dydroid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

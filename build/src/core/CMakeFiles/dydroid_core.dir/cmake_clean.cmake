@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_core.dir/dcl_log.cpp.o"
+  "CMakeFiles/dydroid_core.dir/dcl_log.cpp.o.d"
+  "CMakeFiles/dydroid_core.dir/download_tracker.cpp.o"
+  "CMakeFiles/dydroid_core.dir/download_tracker.cpp.o.d"
+  "CMakeFiles/dydroid_core.dir/dynamic_taint.cpp.o"
+  "CMakeFiles/dydroid_core.dir/dynamic_taint.cpp.o.d"
+  "CMakeFiles/dydroid_core.dir/engine.cpp.o"
+  "CMakeFiles/dydroid_core.dir/engine.cpp.o.d"
+  "CMakeFiles/dydroid_core.dir/interceptor.cpp.o"
+  "CMakeFiles/dydroid_core.dir/interceptor.cpp.o.d"
+  "CMakeFiles/dydroid_core.dir/pipeline.cpp.o"
+  "CMakeFiles/dydroid_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dydroid_core.dir/report_json.cpp.o"
+  "CMakeFiles/dydroid_core.dir/report_json.cpp.o.d"
+  "CMakeFiles/dydroid_core.dir/static_filter.cpp.o"
+  "CMakeFiles/dydroid_core.dir/static_filter.cpp.o.d"
+  "CMakeFiles/dydroid_core.dir/unpacker.cpp.o"
+  "CMakeFiles/dydroid_core.dir/unpacker.cpp.o.d"
+  "CMakeFiles/dydroid_core.dir/vulnerability.cpp.o"
+  "CMakeFiles/dydroid_core.dir/vulnerability.cpp.o.d"
+  "libdydroid_core.a"
+  "libdydroid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

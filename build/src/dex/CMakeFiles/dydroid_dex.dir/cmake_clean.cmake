@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_dex.dir/builder.cpp.o"
+  "CMakeFiles/dydroid_dex.dir/builder.cpp.o.d"
+  "CMakeFiles/dydroid_dex.dir/dexfile.cpp.o"
+  "CMakeFiles/dydroid_dex.dir/dexfile.cpp.o.d"
+  "CMakeFiles/dydroid_dex.dir/disassembler.cpp.o"
+  "CMakeFiles/dydroid_dex.dir/disassembler.cpp.o.d"
+  "libdydroid_dex.a"
+  "libdydroid_dex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_dex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_manifest.dir/manifest.cpp.o"
+  "CMakeFiles/dydroid_manifest.dir/manifest.cpp.o.d"
+  "libdydroid_manifest.a"
+  "libdydroid_manifest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_manifest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_monkey.dir/monkey.cpp.o"
+  "CMakeFiles/dydroid_monkey.dir/monkey.cpp.o.d"
+  "libdydroid_monkey.a"
+  "libdydroid_monkey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_monkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

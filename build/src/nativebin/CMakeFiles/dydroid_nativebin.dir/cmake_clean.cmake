@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_nativebin.dir/native_library.cpp.o"
+  "CMakeFiles/dydroid_nativebin.dir/native_library.cpp.o.d"
+  "libdydroid_nativebin.a"
+  "libdydroid_nativebin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_nativebin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dydroid_nativebin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obfuscation/detector.cpp" "src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/detector.cpp.o" "gcc" "src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/detector.cpp.o.d"
+  "/root/repo/src/obfuscation/language_db.cpp" "src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/language_db.cpp.o" "gcc" "src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/language_db.cpp.o.d"
+  "/root/repo/src/obfuscation/lexical.cpp" "src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/lexical.cpp.o" "gcc" "src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/lexical.cpp.o.d"
+  "/root/repo/src/obfuscation/packer.cpp" "src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/packer.cpp.o" "gcc" "src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/packer.cpp.o.d"
+  "/root/repo/src/obfuscation/poison.cpp" "src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/poison.cpp.o" "gcc" "src/obfuscation/CMakeFiles/dydroid_obfuscation.dir/poison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dydroid_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nativebin/CMakeFiles/dydroid_nativebin.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dydroid_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/apk/CMakeFiles/dydroid_apk.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/dydroid_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/dydroid_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dydroid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_obfuscation.dir/detector.cpp.o"
+  "CMakeFiles/dydroid_obfuscation.dir/detector.cpp.o.d"
+  "CMakeFiles/dydroid_obfuscation.dir/language_db.cpp.o"
+  "CMakeFiles/dydroid_obfuscation.dir/language_db.cpp.o.d"
+  "CMakeFiles/dydroid_obfuscation.dir/lexical.cpp.o"
+  "CMakeFiles/dydroid_obfuscation.dir/lexical.cpp.o.d"
+  "CMakeFiles/dydroid_obfuscation.dir/packer.cpp.o"
+  "CMakeFiles/dydroid_obfuscation.dir/packer.cpp.o.d"
+  "CMakeFiles/dydroid_obfuscation.dir/poison.cpp.o"
+  "CMakeFiles/dydroid_obfuscation.dir/poison.cpp.o.d"
+  "libdydroid_obfuscation.a"
+  "libdydroid_obfuscation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

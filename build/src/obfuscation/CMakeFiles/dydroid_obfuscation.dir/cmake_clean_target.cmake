@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdydroid_obfuscation.a"
+)

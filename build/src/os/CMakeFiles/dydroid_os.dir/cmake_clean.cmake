@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_os.dir/device.cpp.o"
+  "CMakeFiles/dydroid_os.dir/device.cpp.o.d"
+  "CMakeFiles/dydroid_os.dir/network.cpp.o"
+  "CMakeFiles/dydroid_os.dir/network.cpp.o.d"
+  "CMakeFiles/dydroid_os.dir/package_manager.cpp.o"
+  "CMakeFiles/dydroid_os.dir/package_manager.cpp.o.d"
+  "CMakeFiles/dydroid_os.dir/services.cpp.o"
+  "CMakeFiles/dydroid_os.dir/services.cpp.o.d"
+  "CMakeFiles/dydroid_os.dir/vfs.cpp.o"
+  "CMakeFiles/dydroid_os.dir/vfs.cpp.o.d"
+  "libdydroid_os.a"
+  "libdydroid_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/flowdroid.cpp" "src/privacy/CMakeFiles/dydroid_privacy.dir/flowdroid.cpp.o" "gcc" "src/privacy/CMakeFiles/dydroid_privacy.dir/flowdroid.cpp.o.d"
+  "/root/repo/src/privacy/sources.cpp" "src/privacy/CMakeFiles/dydroid_privacy.dir/sources.cpp.o" "gcc" "src/privacy/CMakeFiles/dydroid_privacy.dir/sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dex/CMakeFiles/dydroid_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dydroid_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dydroid_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/apk/CMakeFiles/dydroid_apk.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/dydroid_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/nativebin/CMakeFiles/dydroid_nativebin.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dydroid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_privacy.dir/flowdroid.cpp.o"
+  "CMakeFiles/dydroid_privacy.dir/flowdroid.cpp.o.d"
+  "CMakeFiles/dydroid_privacy.dir/sources.cpp.o"
+  "CMakeFiles/dydroid_privacy.dir/sources.cpp.o.d"
+  "libdydroid_privacy.a"
+  "libdydroid_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

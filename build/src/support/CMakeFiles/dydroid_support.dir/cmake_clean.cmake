@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_support.dir/bytes.cpp.o"
+  "CMakeFiles/dydroid_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/dydroid_support.dir/hash.cpp.o"
+  "CMakeFiles/dydroid_support.dir/hash.cpp.o.d"
+  "CMakeFiles/dydroid_support.dir/log.cpp.o"
+  "CMakeFiles/dydroid_support.dir/log.cpp.o.d"
+  "CMakeFiles/dydroid_support.dir/strings.cpp.o"
+  "CMakeFiles/dydroid_support.dir/strings.cpp.o.d"
+  "libdydroid_support.a"
+  "libdydroid_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/frameworks.cpp" "src/vm/CMakeFiles/dydroid_vm.dir/frameworks.cpp.o" "gcc" "src/vm/CMakeFiles/dydroid_vm.dir/frameworks.cpp.o.d"
+  "/root/repo/src/vm/stack_trace.cpp" "src/vm/CMakeFiles/dydroid_vm.dir/stack_trace.cpp.o" "gcc" "src/vm/CMakeFiles/dydroid_vm.dir/stack_trace.cpp.o.d"
+  "/root/repo/src/vm/value.cpp" "src/vm/CMakeFiles/dydroid_vm.dir/value.cpp.o" "gcc" "src/vm/CMakeFiles/dydroid_vm.dir/value.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/vm/CMakeFiles/dydroid_vm.dir/vm.cpp.o" "gcc" "src/vm/CMakeFiles/dydroid_vm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/dydroid_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/apk/CMakeFiles/dydroid_apk.dir/DependInfo.cmake"
+  "/root/repo/build/src/nativebin/CMakeFiles/dydroid_nativebin.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/dydroid_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/dydroid_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dydroid_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

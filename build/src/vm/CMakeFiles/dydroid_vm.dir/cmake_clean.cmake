@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid_vm.dir/frameworks.cpp.o"
+  "CMakeFiles/dydroid_vm.dir/frameworks.cpp.o.d"
+  "CMakeFiles/dydroid_vm.dir/stack_trace.cpp.o"
+  "CMakeFiles/dydroid_vm.dir/stack_trace.cpp.o.d"
+  "CMakeFiles/dydroid_vm.dir/value.cpp.o"
+  "CMakeFiles/dydroid_vm.dir/value.cpp.o.d"
+  "CMakeFiles/dydroid_vm.dir/vm.cpp.o"
+  "CMakeFiles/dydroid_vm.dir/vm.cpp.o.d"
+  "libdydroid_vm.a"
+  "libdydroid_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

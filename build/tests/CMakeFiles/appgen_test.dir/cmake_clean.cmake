@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appgen_test.dir/appgen_test.cpp.o"
+  "CMakeFiles/appgen_test.dir/appgen_test.cpp.o.d"
+  "appgen_test"
+  "appgen_test.pdb"
+  "appgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

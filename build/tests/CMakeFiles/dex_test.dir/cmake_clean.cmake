@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dex_test.dir/dex_test.cpp.o"
+  "CMakeFiles/dex_test.dir/dex_test.cpp.o.d"
+  "dex_test"
+  "dex_test.pdb"
+  "dex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_taint_test.dir/dynamic_taint_test.cpp.o"
+  "CMakeFiles/dynamic_taint_test.dir/dynamic_taint_test.cpp.o.d"
+  "dynamic_taint_test"
+  "dynamic_taint_test.pdb"
+  "dynamic_taint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_taint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

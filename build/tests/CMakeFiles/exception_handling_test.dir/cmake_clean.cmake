@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exception_handling_test.dir/exception_handling_test.cpp.o"
+  "CMakeFiles/exception_handling_test.dir/exception_handling_test.cpp.o.d"
+  "exception_handling_test"
+  "exception_handling_test.pdb"
+  "exception_handling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exception_handling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

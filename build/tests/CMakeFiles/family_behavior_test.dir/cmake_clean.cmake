@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_behavior_test.dir/family_behavior_test.cpp.o"
+  "CMakeFiles/family_behavior_test.dir/family_behavior_test.cpp.o.d"
+  "family_behavior_test"
+  "family_behavior_test.pdb"
+  "family_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

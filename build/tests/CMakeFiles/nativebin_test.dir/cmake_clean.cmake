@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nativebin_test.dir/nativebin_test.cpp.o"
+  "CMakeFiles/nativebin_test.dir/nativebin_test.cpp.o.d"
+  "nativebin_test"
+  "nativebin_test.pdb"
+  "nativebin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nativebin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

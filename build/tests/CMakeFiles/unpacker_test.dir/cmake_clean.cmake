@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unpacker_test.dir/unpacker_test.cpp.o"
+  "CMakeFiles/unpacker_test.dir/unpacker_test.cpp.o.d"
+  "unpacker_test"
+  "unpacker_test.pdb"
+  "unpacker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unpacker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

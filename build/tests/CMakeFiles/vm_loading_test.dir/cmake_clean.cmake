@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_loading_test.dir/vm_loading_test.cpp.o"
+  "CMakeFiles/vm_loading_test.dir/vm_loading_test.cpp.o.d"
+  "vm_loading_test"
+  "vm_loading_test.pdb"
+  "vm_loading_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_loading_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

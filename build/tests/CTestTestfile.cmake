@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/dex_test[1]_include.cmake")
+include("/root/repo/build/tests/manifest_test[1]_include.cmake")
+include("/root/repo/build/tests/apk_test[1]_include.cmake")
+include("/root/repo/build/tests/nativebin_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/monkey_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/obfuscation_test[1]_include.cmake")
+include("/root/repo/build/tests/malware_test[1]_include.cmake")
+include("/root/repo/build/tests/privacy_test[1]_include.cmake")
+include("/root/repo/build/tests/appgen_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/core_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/report_json_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_loading_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/unpacker_test[1]_include.cmake")
+include("/root/repo/build/tests/frameworks_test[1]_include.cmake")
+include("/root/repo/build/tests/family_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_taint_test[1]_include.cmake")
+include("/root/repo/build/tests/interpreter_property_test[1]_include.cmake")
+include("/root/repo/build/tests/exception_handling_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dydroid.dir/dydroid_cli.cpp.o"
+  "CMakeFiles/dydroid.dir/dydroid_cli.cpp.o.d"
+  "dydroid"
+  "dydroid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dydroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dydroid.
+# This may be replaced when dependencies are built.
