@@ -42,14 +42,28 @@ Measurement measure_corpus(const malware::DroidNative* detector,
   appgen::CorpusConfig config;
   config.scale = m.scale;
   m.corpus = appgen::generate_corpus(config);
+
+  // One shared immutable pipeline; per-app scenarios ride on the jobs.
+  core::PipelineOptions options;
+  options.detector = detector;
+  options.runtime = runtime;
+  const core::DyDroid pipeline(std::move(options));
+  driver::RunnerConfig runner_config;
+  runner_config.seed_base = kCorpusSeedBase;
+  const driver::CorpusRunner runner(pipeline, runner_config);
+  auto result = runner.run(m.corpus);
+
   m.apps.reserve(m.corpus.apps.size());
-  std::uint64_t seed = 0xBE9C0000;
-  for (const auto& app : m.corpus.apps) {
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
     MeasuredApp measured;
-    measured.app = &app;
-    measured.report = rerun_app(app, detector, runtime, seed++);
+    measured.app = &m.corpus.apps[i];
+    measured.index = i;
+    measured.report = std::move(result.outcomes[i].report);
     m.apps.push_back(std::move(measured));
   }
+  m.stats = result.stats;
+  m.wall_ms = result.wall_ms;
+  m.threads = result.threads;
   return m;
 }
 

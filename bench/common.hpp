@@ -1,6 +1,8 @@
 // Shared bench harness: generates the paper-calibrated corpus, runs the
-// full DyDroid pipeline over it, and exposes the measured reports to the
-// per-table printers. Scale via DYDROID_SCALE (default 0.05 = ~2,937 apps).
+// full DyDroid pipeline over it through the parallel CorpusRunner, and
+// exposes the measured reports (in corpus order) to the per-table printers.
+// Scale via DYDROID_SCALE (default 0.05 = ~2,937 apps); worker count via
+// DYDROID_JOBS (default: hardware concurrency).
 #pragma once
 
 #include <cstdio>
@@ -9,12 +11,19 @@
 
 #include "appgen/corpus.hpp"
 #include "core/pipeline.hpp"
+#include "driver/corpus_runner.hpp"
 #include "malware/droidnative.hpp"
 
 namespace dydroid::bench {
 
+/// Seed base for the measurement corpus; app N runs with
+/// driver::seed_for_app(kCorpusSeedBase, N) regardless of thread count or
+/// iteration order.
+inline constexpr std::uint64_t kCorpusSeedBase = driver::kDefaultSeedBase;
+
 struct MeasuredApp {
   const appgen::GeneratedApp* app = nullptr;
+  std::size_t index = 0;  // position in corpus.apps (drives the seed)
   core::AppReport report;
 };
 
@@ -22,18 +31,24 @@ struct Measurement {
   appgen::Corpus corpus;
   std::vector<MeasuredApp> apps;  // same order as corpus.apps
   double scale = 0.05;
+  driver::AggregateStats stats;   // reduced across workers
+  double wall_ms = 0.0;           // corpus wall time
+  std::size_t threads = 1;        // workers used
 };
 
 /// Train MiniDroidNative the way the paper does: samples from 19 families
 /// (scaled-down stand-in for the 1,240-app training set).
 malware::DroidNative make_trained_detector(int samples_per_family = 4);
 
-/// Generate the corpus and run the pipeline over every app.
+/// Generate the corpus and run the pipeline over every app (in parallel;
+/// results are deterministic and in corpus order).
 Measurement measure_corpus(const malware::DroidNative* detector,
                            core::RuntimeConfig runtime = {},
                            double scale_fallback = 0.05);
 
-/// Re-run a single generated app under a runtime configuration.
+/// Re-run a single generated app under a runtime configuration. Pass the
+/// app's index-derived seed (driver::seed_for_app) so the rerun matches
+/// the corpus run app-for-app.
 core::AppReport rerun_app(const appgen::GeneratedApp& app,
                           const malware::DroidNative* detector,
                           const core::RuntimeConfig& runtime,

@@ -30,19 +30,26 @@ Measurement measure_with_events(int num_events, double scale) {
   appgen::CorpusConfig config;
   config.scale = scale;
   m.corpus = appgen::generate_corpus(config);
-  std::uint64_t seed = 0xC0FFEE;
-  for (const auto& app : m.corpus.apps) {
-    core::PipelineOptions options;
-    options.engine.monkey.num_events = num_events;
-    options.scenario_setup = [&app](os::Device& device) {
-      appgen::apply_scenario(app.scenario, device);
-    };
-    core::DyDroid pipeline(std::move(options));
+
+  core::PipelineOptions options;
+  options.engine.monkey.num_events = num_events;
+  const core::DyDroid pipeline(std::move(options));
+  driver::RunnerConfig runner_config;
+  runner_config.seed_base = 0xC0FFEE;
+  const driver::CorpusRunner runner(pipeline, runner_config);
+  auto result = runner.run(m.corpus);
+
+  m.apps.reserve(result.outcomes.size());
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
     MeasuredApp measured;
-    measured.app = &app;
-    measured.report = pipeline.analyze(app.apk, seed++);
+    measured.app = &m.corpus.apps[i];
+    measured.index = i;
+    measured.report = std::move(result.outcomes[i].report);
     m.apps.push_back(std::move(measured));
   }
+  m.stats = result.stats;
+  m.wall_ms = result.wall_ms;
+  m.threads = result.threads;
   return m;
 }
 

@@ -1,18 +1,29 @@
 // Micro-benchmarks (google-benchmark) for the per-app costs that dominate
 // the 46K-app measurement: interpretation, container (de)serialization,
 // decompilation, ACFG lifting + matching, taint analysis, corpus build and
-// the end-to-end pipeline.
+// the end-to-end pipeline — plus a corpus-throughput comparison (serial vs
+// parallel CorpusRunner) that emits BENCH_corpus.json after the benchmark
+// run. Scale the corpus cases with DYDROID_SCALE (JSON emitter default
+// 0.05) and the worker pool with DYDROID_JOBS.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <thread>
+
 #include "analysis/decompiler.hpp"
+#include "appgen/corpus.hpp"
 #include "appgen/generator.hpp"
 #include "core/pipeline.hpp"
+#include "core/report_json.hpp"
 #include "dex/builder.hpp"
 #include "dex/disassembler.hpp"
+#include "driver/corpus_runner.hpp"
 #include "malware/droidnative.hpp"
 #include "malware/families.hpp"
 #include "obfuscation/packer.hpp"
 #include "privacy/flowdroid.hpp"
+#include "support/log.hpp"
+#include "support/stopwatch.hpp"
 
 using namespace dydroid;
 
@@ -192,6 +203,98 @@ void BM_MonkeySession(benchmark::State& state) {
 }
 BENCHMARK(BM_MonkeySession);
 
+// ---- Corpus throughput (apps/sec): serial vs. parallel driver -------------
+
+void BM_CorpusThroughput(benchmark::State& state) {
+  support::set_log_level(support::LogLevel::Error);
+  appgen::CorpusConfig config;
+  config.scale = 0.02;
+  const auto corpus = appgen::generate_corpus(config);
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  driver::RunnerConfig runner_config;
+  runner_config.jobs = static_cast<std::size_t>(state.range(0));
+  const driver::CorpusRunner runner(pipeline, runner_config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(corpus));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.apps.size()));
+  state.SetLabel("apps/s; jobs=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_CorpusThroughput)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// Serial-vs-parallel corpus comparison, written to BENCH_corpus.json:
+/// wall time and apps/sec with 1 worker and with DYDROID_JOBS/hardware
+/// workers, plus a byte-identity check over every per-app JSON report.
+void emit_corpus_bench_json() {
+  support::set_log_level(support::LogLevel::Error);
+  const double scale = appgen::scale_from_env(0.05);
+  appgen::CorpusConfig config;
+  config.scale = scale;
+  const auto corpus = appgen::generate_corpus(config);
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+
+  driver::RunnerConfig serial_config;
+  serial_config.jobs = 1;
+  const auto serial = driver::CorpusRunner(pipeline, serial_config).run(corpus);
+
+  driver::RunnerConfig parallel_config;  // jobs = DYDROID_JOBS / hardware
+  const auto parallel =
+      driver::CorpusRunner(pipeline, parallel_config).run(corpus);
+
+  bool identical = serial.outcomes.size() == parallel.outcomes.size();
+  for (std::size_t i = 0; identical && i < serial.outcomes.size(); ++i) {
+    identical = core::report_to_json(serial.outcomes[i].report) ==
+                core::report_to_json(parallel.outcomes[i].report);
+  }
+
+  const auto apps = static_cast<double>(corpus.apps.size());
+  const double serial_aps =
+      serial.wall_ms > 0 ? 1000.0 * apps / serial.wall_ms : 0.0;
+  const double parallel_aps =
+      parallel.wall_ms > 0 ? 1000.0 * apps / parallel.wall_ms : 0.0;
+
+  std::FILE* f = std::fopen("BENCH_corpus.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_perf: cannot write BENCH_corpus.json\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"corpus_throughput\",\n"
+               "  \"scale\": %.4f,\n"
+               "  \"apps\": %zu,\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"serial\": {\"jobs\": 1, \"wall_ms\": %.2f,"
+               " \"apps_per_sec\": %.1f},\n"
+               "  \"parallel\": {\"jobs\": %zu, \"wall_ms\": %.2f,"
+               " \"apps_per_sec\": %.1f},\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"reports_identical\": %s\n"
+               "}\n",
+               scale, corpus.apps.size(),
+               static_cast<std::size_t>(std::thread::hardware_concurrency()),
+               serial.wall_ms, serial_aps, parallel.threads, parallel.wall_ms,
+               parallel_aps,
+               parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
+               identical ? "true" : "false");
+  std::fclose(f);
+  std::printf(
+      "\nBENCH_corpus.json: %zu apps, serial %.1f ms (%.0f apps/s), "
+      "parallel[%zu] %.1f ms (%.0f apps/s), speedup %.2fx, identical=%s\n",
+      corpus.apps.size(), serial.wall_ms, serial_aps, parallel.threads,
+      parallel.wall_ms, parallel_aps,
+      parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
+      identical ? "true" : "false");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_corpus_bench_json();
+  return 0;
+}

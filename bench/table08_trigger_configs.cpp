@@ -25,13 +25,14 @@ int main() {
   print_title("Table VIII",
               "malicious code loaded under runtime configurations");
 
-  // Flagged apps = those whose default run loaded detected malware.
-  std::vector<const appgen::GeneratedApp*> flagged;
+  // Flagged apps = those whose default run loaded detected malware. Keep
+  // the corpus index so reruns use the app's own index-derived seed.
+  std::vector<const MeasuredApp*> flagged;
   int baseline_files = 0;
   for (const auto& app : m.apps) {
     const auto hits = app.report.malware_loaded();
     if (hits.empty()) continue;
-    flagged.push_back(app.app);
+    flagged.push_back(&app);
     baseline_files += static_cast<int>(hits.size());
   }
 
@@ -65,9 +66,12 @@ int main() {
               "paper loaded");
   for (const auto& config : configs) {
     int loaded = 0;
-    std::uint64_t seed = 0xAB1E;
     for (const auto* app : flagged) {
-      loaded += malware_files(*app, &detector, config.runtime, seed++);
+      // Seed derives from the app's corpus index, not from the iteration
+      // order of the flagged subset, so an app's rerun is reproducible no
+      // matter which other apps happened to be flagged.
+      loaded += malware_files(*app->app, &detector, config.runtime,
+                              driver::seed_for_app(0xAB1E, app->index));
     }
     const double mpct =
         baseline_files == 0 ? 0 : 100.0 * loaded / baseline_files;

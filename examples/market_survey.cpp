@@ -13,6 +13,7 @@
 #include "appgen/corpus.hpp"
 #include "core/pipeline.hpp"
 #include "core/report_json.hpp"
+#include "driver/corpus_runner.hpp"
 #include "malware/families.hpp"
 #include "support/log.hpp"
 
@@ -41,21 +42,23 @@ int main() {
               " samples\n\n",
               corpus.apps.size(), scale, detector.training_size());
 
-  // The campaign.
+  // The campaign: one shared pipeline mapped over the corpus by the
+  // parallel driver (DYDROID_JOBS workers, deterministic per-app seeds).
+  core::PipelineOptions options;
+  options.detector = &detector;
+  const core::DyDroid pipeline(std::move(options));
+  driver::RunnerConfig runner_config;
+  runner_config.seed_base = 1;  // app N runs with seed 1 + N
+  const driver::CorpusRunner runner(pipeline, runner_config);
+  const auto result = runner.run(corpus);
+
   std::size_t exercised = 0, intercepted = 0, remote = 0, own_dcl = 0,
               third_dcl = 0, packed = 0, lexical = 0, malware_apps = 0,
               vulnerable = 0, leaky = 0;
   std::map<std::string, int> families;
   std::string sample_json;
-  std::uint64_t seed = 1;
-  for (const auto& app : corpus.apps) {
-    core::PipelineOptions options;
-    options.detector = &detector;
-    options.scenario_setup = [&app](os::Device& device) {
-      appgen::apply_scenario(app.scenario, device);
-    };
-    core::DyDroid pipeline(std::move(options));
-    const auto report = pipeline.analyze(app.apk, seed++);
+  for (const auto& outcome : result.outcomes) {
+    const auto& report = outcome.report;
 
     if (report.status == core::DynamicStatus::kExercised) ++exercised;
     const bool hit_dex = report.intercepted(core::CodeKind::Dex);
@@ -86,6 +89,13 @@ int main() {
   }
 
   std::printf("== survey summary ==============================\n");
+  std::printf("corpus wall time:          %.1f ms on %zu worker(s)"
+              " (%.0f apps/s)\n",
+              result.wall_ms, result.threads,
+              result.wall_ms > 0
+                  ? 1000.0 * static_cast<double>(result.outcomes.size()) /
+                        result.wall_ms
+                  : 0.0);
   std::printf("exercised:                 %zu\n", exercised);
   std::printf("apps with intercepted DCL: %zu\n", intercepted);
   std::printf("  third-party initiated:   %zu\n", third_dcl);

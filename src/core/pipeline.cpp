@@ -1,7 +1,6 @@
 #include "core/pipeline.hpp"
 
-#include "analysis/decompiler.hpp"
-#include "analysis/rewriter.hpp"
+#include "core/stages.hpp"
 #include "support/log.hpp"
 
 namespace dydroid::core {
@@ -60,117 +59,59 @@ std::vector<const BinaryReport*> AppReport::malware_loaded() const {
   return out;
 }
 
-DyDroid::DyDroid(PipelineOptions options) : options_(std::move(options)) {}
+DyDroid::DyDroid(PipelineOptions options)
+    : options_(std::move(options)), stages_(default_stages()) {}
+
+DyDroid::~DyDroid() = default;
+DyDroid::DyDroid(DyDroid&&) noexcept = default;
+DyDroid& DyDroid::operator=(DyDroid&&) noexcept = default;
+
+namespace {
+
+/// Run one stage, converting any escaping exception into a stage failure.
+/// This is the no-exceptions boundary the corpus worker threads rely on.
+StageResult run_stage_guarded(const Stage& stage, AnalysisContext& ctx) {
+  try {
+    return stage.run(ctx);
+  } catch (const std::exception& e) {
+    return StageResult::failure(std::string(stage.name()) + ": " + e.what());
+  } catch (...) {
+    return StageResult::failure(std::string(stage.name()) +
+                                ": unknown exception");
+  }
+}
+
+}  // namespace
 
 AppReport DyDroid::analyze(std::span<const std::uint8_t> apk_bytes,
-                           std::uint64_t seed) {
-  AppReport report;
+                           std::uint64_t seed) const {
+  AnalysisRequest request;
+  request.apk_bytes = apk_bytes;
+  request.seed = seed;
+  return analyze(request);
+}
 
-  // ---- Static phase --------------------------------------------------------
-  auto ir = analysis::decompile(apk_bytes);
-  if (!ir.ok()) {
-    report.decompile_failed = true;
-    report.obfuscation.anti_decompilation = true;
-    return report;
-  }
-  const auto& decompiled = ir.value();
-  report.package = decompiled.manifest.package;
-  report.min_sdk = decompiled.manifest.min_sdk;
-  report.obfuscation = obfuscation::analyze_obfuscation(decompiled);
-  if (decompiled.classes_dex.has_value()) {
-    report.static_dcl = scan_dcl_apis(*decompiled.classes_dex);
-  }
+AppReport DyDroid::analyze(const AnalysisRequest& request) const {
+  AnalysisContext ctx;
+  ctx.apk_bytes = request.apk_bytes;
+  ctx.bytes_to_run = request.apk_bytes;
+  ctx.seed = request.seed;
+  ctx.options = &options_;
+  ctx.scenario_override = request.scenario_setup;
 
-  if (!options_.dynamic_analysis || !report.static_dcl.any()) {
-    return report;  // DCL-free apps are not exercised (paper §V-A)
-  }
-
-  // ---- Rewriting -----------------------------------------------------------
-  // The measurement log lives on external storage; inject the permission if
-  // missing. Anti-repackaging apps crash the (strict) repacker here.
-  support::Bytes rewritten;
-  std::span<const std::uint8_t> bytes_to_run = apk_bytes;
-  if (!decompiled.manifest.has_permission(manifest::kWriteExternalStorage)) {
-    auto result = analysis::rewrite_with_permission(
-        apk_bytes, manifest::kWriteExternalStorage);
+  for (const auto& stage : stages_) {
+    const StageResult result = run_stage_guarded(*stage, ctx);
     if (!result.ok()) {
-      report.status = DynamicStatus::kRewritingFailure;
-      report.crash_message = result.error();
-      return report;
-    }
-    rewritten = std::move(result).take();
-    bytes_to_run = rewritten;
-  }
-
-  // ---- Dynamic phase -------------------------------------------------------
-  os::Device device(options_.device);
-  if (options_.scenario_setup) options_.scenario_setup(device);
-  options_.runtime.apply(device.services());
-
-  apk::ApkFile apk;
-  try {
-    apk = apk::ApkFile::deserialize(bytes_to_run, apk::ParseMode::kLenient);
-  } catch (const support::ParseError& e) {
-    report.status = DynamicStatus::kCrash;
-    report.crash_message = e.what();
-    return report;
-  }
-  auto man = apk.read_manifest();
-  if (const auto installed = device.install(apk); !installed) {
-    report.status = DynamicStatus::kCrash;
-    report.crash_message = installed.error();
-    return report;
-  }
-
-  support::Rng rng(seed);
-  auto run = run_app(device, apk, man, rng, options_.engine);
-  report.storage_recovered = run.storage_recovered;
-  report.crash_message = run.monkey.crash_message;
-  switch (run.monkey.outcome) {
-    case monkey::Outcome::kNoActivity:
-      report.status = DynamicStatus::kNoActivity;
+      // Unexpected internal failure: record it as a per-app crash outcome
+      // so the batch keeps going (a worker thread never unwinds).
+      ctx.report.status = DynamicStatus::kCrash;
+      ctx.report.crash_message = result.error();
+      support::log_warn("pipeline", "stage failed: " + result.error());
       break;
-    case monkey::Outcome::kCrash:
-      report.status = DynamicStatus::kCrash;
-      break;
-    case monkey::Outcome::kExercised:
-      report.status = DynamicStatus::kExercised;
-      break;
-  }
-  report.events = std::move(run.events);
-  report.vm_events = std::move(run.vm_events);
-
-  // ---- Per-binary analyses -------------------------------------------------
-  for (auto& binary : run.binaries) {
-    BinaryReport br;
-    br.origin_url = run.tracker.origin_url(binary.path);
-    if (options_.detector != nullptr) {
-      br.malware = options_.detector->scan(binary.bytes);
     }
-    if (binary.kind == CodeKind::Dex) {
-      try {
-        if (dex::looks_like_dex(binary.bytes)) {
-          br.privacy =
-              privacy::analyze_privacy(dex::DexFile::deserialize(binary.bytes));
-        } else if (apk::looks_like_apk(binary.bytes)) {
-          const auto pkg = apk::ApkFile::deserialize(binary.bytes);
-          if (auto inner = pkg.read_classes_dex()) {
-            br.privacy = privacy::analyze_privacy(*inner);
-          }
-        }
-      } catch (const support::ParseError& e) {
-        support::log_warn("pipeline",
-                          std::string("privacy: unparsable binary: ") +
-                              e.what());
-      }
-    }
-    br.binary = std::move(binary);
-    report.binaries.push_back(std::move(br));
+    if (result.value() == StageAction::kStop) break;
   }
-
-  report.vulns =
-      analyze_vulnerabilities(report.events, report.package, report.min_sdk);
-  return report;
+  return std::move(ctx.report);
 }
 
 }  // namespace dydroid::core

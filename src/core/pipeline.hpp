@@ -2,7 +2,13 @@
 // obfuscation analysis → (rewrite if needed) → dynamic analysis with
 // interception → provenance/entity identification → malware detection →
 // privacy tracking → vulnerability analysis. One call per app; the whole
-// measurement (Section V) is this pipeline mapped over a corpus.
+// measurement (Section V) is this pipeline mapped over a corpus by
+// driver::CorpusRunner.
+//
+// The per-app path is decomposed into composable stages (core/stages.hpp)
+// that pass a single AnalysisContext. DyDroid itself is immutable after
+// construction and `analyze` is const, so one instance can be shared by
+// any number of corpus worker threads.
 #pragma once
 
 #include <functional>
@@ -17,6 +23,8 @@
 #include "privacy/flowdroid.hpp"
 
 namespace dydroid::core {
+
+class Stage;  // core/stages.hpp
 
 /// Runtime-environment knobs (paper Table VIII configurations).
 struct RuntimeConfig {
@@ -34,6 +42,8 @@ struct PipelineOptions {
   RuntimeConfig runtime;
   /// Prepares the device before install: hosts remote payloads, installs
   /// companion apps, pre-places files (the app's real-world surroundings).
+  /// Per-app scenarios are passed per AnalysisRequest instead, so one
+  /// DyDroid can be shared across a whole corpus.
   std::function<void(os::Device&)> scenario_setup;
   /// Trained malware detector; null disables malware scanning.
   const malware::DroidNative* detector = nullptr;
@@ -90,19 +100,38 @@ struct AppReport {
   [[nodiscard]] std::vector<const BinaryReport*> malware_loaded() const;
 };
 
+/// One unit of corpus work: the bytes, the fuzzing seed and (optionally) a
+/// per-app scenario that overrides PipelineOptions::scenario_setup. The
+/// scenario is taken by pointer so enqueueing a corpus never copies
+/// closures; the referee must outlive the analyze() call.
+struct AnalysisRequest {
+  std::span<const std::uint8_t> apk_bytes;
+  std::uint64_t seed = 0;
+  const std::function<void(os::Device&)>* scenario_setup = nullptr;
+};
+
 class DyDroid {
  public:
   explicit DyDroid(PipelineOptions options = {});
+  ~DyDroid();
+  DyDroid(DyDroid&&) noexcept;
+  DyDroid& operator=(DyDroid&&) noexcept;
 
   /// Analyze one APK end to end. `seed` drives the fuzzing determinism.
+  /// Const and thread-safe: all mutable state lives in the per-call
+  /// AnalysisContext, so one DyDroid serves many worker threads.
   AppReport analyze(std::span<const std::uint8_t> apk_bytes,
-                    std::uint64_t seed);
+                    std::uint64_t seed) const;
+  AppReport analyze(const AnalysisRequest& request) const;
 
   [[nodiscard]] const PipelineOptions& options() const { return options_; }
+  /// Mutable access for pre-run configuration only — do not mutate options
+  /// while worker threads are inside analyze().
   [[nodiscard]] PipelineOptions& options() { return options_; }
 
  private:
   PipelineOptions options_;
+  std::vector<std::unique_ptr<const Stage>> stages_;
 };
 
 }  // namespace dydroid::core

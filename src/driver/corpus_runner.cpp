@@ -1,0 +1,143 @@
+#include "driver/corpus_runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "appgen/generator.hpp"
+#include "support/stopwatch.hpp"
+
+namespace dydroid::driver {
+
+void AggregateStats::absorb(const AppOutcome& outcome) {
+  const auto& report = outcome.report;
+  ++apps;
+  switch (report.status) {
+    case core::DynamicStatus::kNotRun: ++not_run; break;
+    case core::DynamicStatus::kRewritingFailure: ++rewriting_failure; break;
+    case core::DynamicStatus::kNoActivity: ++no_activity; break;
+    case core::DynamicStatus::kCrash: ++crashed; break;
+    case core::DynamicStatus::kExercised: ++exercised; break;
+  }
+  if (report.decompile_failed) ++decompile_failed;
+  if (report.static_dcl.any()) ++static_dcl;
+  if (!report.binaries.empty()) ++intercepted;
+  if (!report.remote_loaded().empty()) ++remote_loaders;
+  if (!report.malware_loaded().empty()) ++malware_carriers;
+  if (!report.vulns.empty()) ++vulnerable;
+  for (const auto& binary : report.binaries) {
+    if (!binary.privacy.leaks.empty()) {
+      ++privacy_leaking;
+      break;
+    }
+  }
+  binaries += report.binaries.size();
+  events += report.events.size();
+  total_app_ms += outcome.wall_ms;
+  if (outcome.wall_ms > max_app_ms) max_app_ms = outcome.wall_ms;
+}
+
+void AggregateStats::merge(const AggregateStats& other) {
+  apps += other.apps;
+  not_run += other.not_run;
+  rewriting_failure += other.rewriting_failure;
+  no_activity += other.no_activity;
+  crashed += other.crashed;
+  exercised += other.exercised;
+  decompile_failed += other.decompile_failed;
+  static_dcl += other.static_dcl;
+  intercepted += other.intercepted;
+  remote_loaders += other.remote_loaders;
+  malware_carriers += other.malware_carriers;
+  vulnerable += other.vulnerable;
+  privacy_leaking += other.privacy_leaking;
+  binaries += other.binaries;
+  events += other.events;
+  total_app_ms += other.total_app_ms;
+  if (other.max_app_ms > max_app_ms) max_app_ms = other.max_app_ms;
+}
+
+std::size_t resolve_jobs(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DYDROID_JOBS")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && value > 0) return static_cast<std::size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+CorpusRunner::CorpusRunner(const core::DyDroid& pipeline, RunnerConfig config)
+    : pipeline_(&pipeline), config_(config) {}
+
+CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
+  CorpusResult result;
+  result.threads = std::min(resolve_jobs(config_.jobs),
+                            std::max<std::size_t>(jobs.size(), 1));
+  result.outcomes.resize(jobs.size());
+
+  const support::Stopwatch corpus_clock;
+  std::atomic<std::size_t> next{0};
+  std::vector<AggregateStats> worker_stats(result.threads);
+
+  // Each worker claims the next unprocessed index, analyzes it with its
+  // index-derived seed and writes into that index's pre-sized outcome
+  // slot — disjoint writes, worker-local tallies, no locks on the hot path.
+  const auto worker = [&](std::size_t worker_id) {
+    AggregateStats& local = worker_stats[worker_id];
+    for (;;) {
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= jobs.size()) break;
+      const AppJob& job = jobs[index];
+      AppOutcome& outcome = result.outcomes[index];
+      outcome.seed = seed_for_app(config_.seed_base, index);
+
+      core::AnalysisRequest request;
+      request.apk_bytes = job.apk;
+      request.seed = outcome.seed;
+      request.scenario_setup = job.scenario ? &job.scenario : nullptr;
+
+      const support::Stopwatch app_clock;
+      outcome.report = pipeline_->analyze(request);
+      outcome.wall_ms = app_clock.elapsed_ms();
+      local.absorb(outcome);
+    }
+  };
+
+  if (result.threads <= 1) {
+    worker(0);  // serial fast path: no thread spawn, same code path
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(result.threads);
+    for (std::size_t t = 0; t < result.threads; ++t) {
+      pool.emplace_back(worker, t);
+    }
+    pool.clear();  // join
+  }
+
+  for (const auto& local : worker_stats) result.stats.merge(local);
+  result.wall_ms = corpus_clock.elapsed_ms();
+  return result;
+}
+
+CorpusResult CorpusRunner::run(const appgen::Corpus& corpus) const {
+  const auto jobs = jobs_from_corpus(corpus);
+  return run(jobs);
+}
+
+std::vector<AppJob> jobs_from_corpus(const appgen::Corpus& corpus) {
+  std::vector<AppJob> jobs;
+  jobs.reserve(corpus.apps.size());
+  for (const auto& app : corpus.apps) {
+    AppJob job;
+    job.apk = app.apk;
+    job.scenario = [&app](os::Device& device) {
+      appgen::apply_scenario(app.scenario, device);
+    };
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace dydroid::driver

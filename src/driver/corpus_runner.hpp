@@ -1,0 +1,121 @@
+// Parallel corpus driver: maps one shared, immutable DyDroid pipeline over
+// an app corpus with a fixed-size worker pool, the way the paper pushed
+// 58,739 Google-Play apps through the Figure-1 pipeline.
+//
+// Guarantees:
+//   * Determinism — each app's fuzzing seed derives from its corpus index
+//     (seed_for_app), never from a shared counter, so the per-app reports
+//     are byte-identical regardless of worker count or scheduling.
+//   * Ordering — outcomes come back in corpus order; every downstream
+//     table printer iterates exactly as the serial loop did.
+//   * Isolation — a stage failure (or stray exception) in one app becomes
+//     that app's crash outcome; it never aborts the batch.
+//   * Lock-free hot path — workers write to pre-sized outcome slots and
+//     accumulate worker-local AggregateStats, merged once at the end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "appgen/corpus.hpp"
+#include "core/pipeline.hpp"
+
+namespace dydroid::driver {
+
+/// Default seed base: the historical bench corpus seed origin.
+inline constexpr std::uint64_t kDefaultSeedBase = 0xBE9C0000ull;
+
+/// Seed for the app at `index`. Index-derived (not a shared counter), so an
+/// app keeps its seed when the corpus is filtered, reordered or sharded.
+[[nodiscard]] constexpr std::uint64_t seed_for_app(std::uint64_t base,
+                                                   std::size_t index) {
+  return base + static_cast<std::uint64_t>(index);
+}
+
+/// One unit of corpus work. The bytes and scenario are referenced, not
+/// copied — the corpus must outlive the run() call.
+struct AppJob {
+  std::span<const std::uint8_t> apk;
+  /// Per-app device preparation (hosted payloads, companion apps, files).
+  std::function<void(os::Device&)> scenario;
+};
+
+/// Per-app result with timing, in corpus order.
+struct AppOutcome {
+  core::AppReport report;
+  std::uint64_t seed = 0;
+  double wall_ms = 0.0;
+};
+
+/// Corpus-level tallies. Workers each reduce into a private instance on the
+/// hot path; the runner merges them once after the pool joins.
+struct AggregateStats {
+  std::size_t apps = 0;
+  // Table II outcome histogram.
+  std::size_t not_run = 0;
+  std::size_t rewriting_failure = 0;
+  std::size_t no_activity = 0;
+  std::size_t crashed = 0;
+  std::size_t exercised = 0;
+  std::size_t decompile_failed = 0;
+  // Measurement aspects.
+  std::size_t static_dcl = 0;        // apps whose code references DCL APIs
+  std::size_t intercepted = 0;       // apps with ≥1 intercepted binary
+  std::size_t remote_loaders = 0;    // apps loading network-fetched code
+  std::size_t malware_carriers = 0;  // apps loading detected malware
+  std::size_t vulnerable = 0;        // apps with ≥1 vulnerability finding
+  std::size_t privacy_leaking = 0;   // apps whose loaded code leaks privacy
+  std::size_t binaries = 0;          // total intercepted binaries
+  std::size_t events = 0;            // total DCL events
+  // Timing.
+  double total_app_ms = 0.0;
+  double max_app_ms = 0.0;
+
+  /// Fold one finished app into the tallies.
+  void absorb(const AppOutcome& outcome);
+  /// Merge another (worker-local) tally into this one.
+  void merge(const AggregateStats& other);
+};
+
+struct CorpusResult {
+  std::vector<AppOutcome> outcomes;  // corpus order
+  AggregateStats stats;
+  double wall_ms = 0.0;     // whole-corpus wall time
+  std::size_t threads = 0;  // worker count actually used
+};
+
+struct RunnerConfig {
+  /// Worker count; 0 = DYDROID_JOBS env var, else hardware_concurrency.
+  std::size_t jobs = 0;
+  /// Base for the index-derived per-app seeds.
+  std::uint64_t seed_base = kDefaultSeedBase;
+};
+
+/// Resolve a requested worker count: explicit > DYDROID_JOBS > hardware.
+[[nodiscard]] std::size_t resolve_jobs(std::size_t requested);
+
+class CorpusRunner {
+ public:
+  /// The pipeline is shared by all workers; it must stay alive and
+  /// unmodified for the duration of every run() call.
+  explicit CorpusRunner(const core::DyDroid& pipeline, RunnerConfig config = {});
+
+  /// Run every job; returns outcomes in job order.
+  [[nodiscard]] CorpusResult run(std::span<const AppJob> jobs) const;
+  /// Convenience: run a generated corpus (jobs built via jobs_from_corpus).
+  [[nodiscard]] CorpusResult run(const appgen::Corpus& corpus) const;
+
+  [[nodiscard]] const RunnerConfig& config() const { return config_; }
+
+ private:
+  const core::DyDroid* pipeline_;
+  RunnerConfig config_;
+};
+
+/// Build one AppJob per generated app (bytes + scenario referenced in
+/// place; `corpus` must outlive the jobs).
+[[nodiscard]] std::vector<AppJob> jobs_from_corpus(const appgen::Corpus& corpus);
+
+}  // namespace dydroid::driver

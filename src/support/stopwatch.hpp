@@ -1,0 +1,34 @@
+// Monotonic wall-clock stopwatch for per-app and per-corpus timing.
+// Header-only; used by the corpus driver and the throughput benches.
+#pragma once
+
+#include <chrono>
+
+namespace dydroid::support {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch and return the elapsed time so far in ms.
+  double reset() {
+    const auto now = Clock::now();
+    const double ms = to_ms(now - start_);
+    start_ = now;
+    return ms;
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return to_ms(Clock::now() - start_); }
+  [[nodiscard]] double elapsed_s() const { return elapsed_ms() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static double to_ms(Clock::duration d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+  Clock::time_point start_;
+};
+
+}  // namespace dydroid::support

@@ -1,0 +1,250 @@
+// Parallel corpus driver tests: (a) worker-count independence — the
+// CorpusRunner produces byte-identical per-app JSON reports with 1 and N
+// threads; (b) the AggregateStats reduction matches a serial re-count;
+// (c) one failing app never aborts the batch; plus seed-scheme and stage
+// unit coverage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "appgen/corpus.hpp"
+#include "appgen/generator.hpp"
+#include "core/report_json.hpp"
+#include "core/stages.hpp"
+#include "driver/corpus_runner.hpp"
+
+namespace dydroid::driver {
+namespace {
+
+appgen::Corpus small_corpus(double scale = 0.002) {
+  appgen::CorpusConfig config;
+  config.scale = scale;  // every table row floored at 1 → a few dozen apps
+  return appgen::generate_corpus(config);
+}
+
+std::vector<std::string> report_jsons(const CorpusResult& result) {
+  std::vector<std::string> out;
+  out.reserve(result.outcomes.size());
+  for (const auto& outcome : result.outcomes) {
+    out.push_back(core::report_to_json(outcome.report));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// (a) Determinism: 1 worker == N workers, and both == direct serial calls.
+// ---------------------------------------------------------------------------
+
+TEST(CorpusRunner, ParallelReportsIdenticalToSerial) {
+  const auto corpus = small_corpus();
+  ASSERT_GT(corpus.apps.size(), 10u);
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+
+  RunnerConfig serial_config;
+  serial_config.jobs = 1;
+  const auto serial = CorpusRunner(pipeline, serial_config).run(corpus);
+
+  RunnerConfig parallel_config;
+  parallel_config.jobs = 4;
+  const auto parallel = CorpusRunner(pipeline, parallel_config).run(corpus);
+
+  ASSERT_EQ(serial.outcomes.size(), corpus.apps.size());
+  ASSERT_EQ(parallel.outcomes.size(), corpus.apps.size());
+  EXPECT_EQ(serial.threads, 1u);
+
+  const auto serial_json = report_jsons(serial);
+  const auto parallel_json = report_jsons(parallel);
+  for (std::size_t i = 0; i < serial_json.size(); ++i) {
+    EXPECT_EQ(serial_json[i], parallel_json[i]) << "app index " << i;
+  }
+
+  // Both agree with calling the pipeline directly with the index seed.
+  for (std::size_t i = 0; i < corpus.apps.size(); i += 7) {
+    const auto& app = corpus.apps[i];
+    const std::function<void(os::Device&)> scenario =
+        [&app](os::Device& device) {
+          appgen::apply_scenario(app.scenario, device);
+        };
+    core::AnalysisRequest request;
+    request.apk_bytes = app.apk;
+    request.seed = seed_for_app(kDefaultSeedBase, i);
+    request.scenario_setup = &scenario;
+    EXPECT_EQ(core::report_to_json(pipeline.analyze(request)),
+              serial_json[i])
+        << "app index " << i;
+  }
+}
+
+TEST(CorpusRunner, SeedDerivesFromIndexNotIterationOrder) {
+  // Dropping apps in front of app N must not change app N's seed.
+  EXPECT_EQ(seed_for_app(100, 5), 105u);
+  const auto corpus = small_corpus();
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  RunnerConfig config;
+  config.jobs = 2;
+  const auto full = CorpusRunner(pipeline, config).run(corpus);
+  for (std::size_t i = 0; i < full.outcomes.size(); ++i) {
+    EXPECT_EQ(full.outcomes[i].seed, kDefaultSeedBase + i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (b) Stats reduce correctly across workers.
+// ---------------------------------------------------------------------------
+
+TEST(CorpusRunner, StatsMatchSerialRecount) {
+  const auto corpus = small_corpus();
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  RunnerConfig config;
+  config.jobs = 4;
+  const auto result = CorpusRunner(pipeline, config).run(corpus);
+
+  AggregateStats expected;
+  for (const auto& outcome : result.outcomes) expected.absorb(outcome);
+
+  const auto& got = result.stats;
+  EXPECT_EQ(got.apps, corpus.apps.size());
+  EXPECT_EQ(got.apps, expected.apps);
+  EXPECT_EQ(got.not_run, expected.not_run);
+  EXPECT_EQ(got.rewriting_failure, expected.rewriting_failure);
+  EXPECT_EQ(got.no_activity, expected.no_activity);
+  EXPECT_EQ(got.crashed, expected.crashed);
+  EXPECT_EQ(got.exercised, expected.exercised);
+  EXPECT_EQ(got.decompile_failed, expected.decompile_failed);
+  EXPECT_EQ(got.static_dcl, expected.static_dcl);
+  EXPECT_EQ(got.intercepted, expected.intercepted);
+  EXPECT_EQ(got.remote_loaders, expected.remote_loaders);
+  EXPECT_EQ(got.malware_carriers, expected.malware_carriers);
+  EXPECT_EQ(got.vulnerable, expected.vulnerable);
+  EXPECT_EQ(got.privacy_leaking, expected.privacy_leaking);
+  EXPECT_EQ(got.binaries, expected.binaries);
+  EXPECT_EQ(got.events, expected.events);
+  // Outcome histogram partitions the corpus.
+  EXPECT_EQ(got.not_run + got.rewriting_failure + got.no_activity +
+                got.crashed + got.exercised,
+            got.apps);
+  EXPECT_DOUBLE_EQ(got.total_app_ms, expected.total_app_ms);
+  EXPECT_DOUBLE_EQ(got.max_app_ms, expected.max_app_ms);
+}
+
+TEST(AggregateStats, MergeIsComponentwiseSum) {
+  AggregateStats a;
+  a.apps = 3;
+  a.exercised = 2;
+  a.crashed = 1;
+  a.max_app_ms = 5.0;
+  a.total_app_ms = 9.0;
+  AggregateStats b;
+  b.apps = 2;
+  b.exercised = 1;
+  b.vulnerable = 1;
+  b.max_app_ms = 7.5;
+  b.total_app_ms = 8.0;
+  a.merge(b);
+  EXPECT_EQ(a.apps, 5u);
+  EXPECT_EQ(a.exercised, 3u);
+  EXPECT_EQ(a.crashed, 1u);
+  EXPECT_EQ(a.vulnerable, 1u);
+  EXPECT_DOUBLE_EQ(a.max_app_ms, 7.5);
+  EXPECT_DOUBLE_EQ(a.total_app_ms, 17.0);
+}
+
+// ---------------------------------------------------------------------------
+// (c) One bad app never aborts the batch.
+// ---------------------------------------------------------------------------
+
+TEST(CorpusRunner, MalformedAppDoesNotAbortBatch) {
+  appgen::AppSpec spec;
+  spec.package = "com.driver.good";
+  spec.category = "Tools";
+  spec.ad_sdk = true;
+  support::Rng rng(11);
+  const auto good = appgen::build_app(spec, rng);
+
+  const std::vector<std::uint8_t> garbage = {'n', 'o', 't', ' ', 'a', 'p',
+                                             'k', 0xFF, 0x00, 0x7F};
+  std::vector<AppJob> jobs(3);
+  jobs[0].apk = good.apk;
+  jobs[0].scenario = [&good](os::Device& device) {
+    appgen::apply_scenario(good.scenario, device);
+  };
+  jobs[1].apk = garbage;  // decompiler rejects this outright
+  jobs[2] = jobs[0];
+
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  RunnerConfig config;
+  config.jobs = 3;
+  const auto result = CorpusRunner(pipeline, config).run(jobs);
+
+  ASSERT_EQ(result.outcomes.size(), 3u);
+  // The bad app resolves to a per-app failure outcome...
+  EXPECT_TRUE(result.outcomes[1].report.decompile_failed);
+  // ...while its neighbours complete normally.
+  EXPECT_EQ(result.outcomes[0].report.status, core::DynamicStatus::kExercised)
+      << result.outcomes[0].report.crash_message;
+  EXPECT_FALSE(result.outcomes[0].report.binaries.empty());
+  EXPECT_EQ(result.outcomes[2].report.status, core::DynamicStatus::kExercised)
+      << result.outcomes[2].report.crash_message;
+  EXPECT_EQ(result.stats.apps, 3u);
+  EXPECT_EQ(result.stats.decompile_failed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Stage-level unit coverage: the decomposed pipeline is testable per stage.
+// ---------------------------------------------------------------------------
+
+TEST(Stages, StaticStageStopsOnDclFreeApp) {
+  appgen::AppSpec spec;
+  spec.package = "com.driver.plain";
+  spec.category = "Tools";  // no DCL behaviours at all
+  support::Rng rng(3);
+  const auto app = appgen::build_app(spec, rng);
+
+  core::PipelineOptions options;
+  core::AnalysisContext ctx;
+  ctx.apk_bytes = app.apk;
+  ctx.bytes_to_run = app.apk;
+  ctx.options = &options;
+
+  const core::StaticStage stage;
+  const auto result = stage.run(ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), core::StageAction::kStop);
+  EXPECT_FALSE(ctx.report.static_dcl.any());
+  EXPECT_EQ(ctx.report.package, "com.driver.plain");
+  EXPECT_EQ(ctx.report.status, core::DynamicStatus::kNotRun);
+}
+
+TEST(Stages, DynamicStageReportsCorruptContainerAsCrash) {
+  appgen::AppSpec spec;
+  spec.package = "com.driver.dcl";
+  spec.category = "Tools";
+  spec.ad_sdk = true;
+  support::Rng rng(5);
+  const auto app = appgen::build_app(spec, rng);
+
+  core::PipelineOptions options;
+  core::AnalysisContext ctx;
+  ctx.apk_bytes = app.apk;
+  ctx.options = &options;
+  ctx.seed = 1;
+
+  const core::StaticStage static_stage;
+  ASSERT_TRUE(static_stage.run(ctx).ok());
+
+  // Corrupt the container after the static phase: the dynamic stage must
+  // resolve it through the stage status, not an escaping ParseError.
+  std::vector<std::uint8_t> truncated(app.apk.begin(),
+                                      app.apk.begin() + app.apk.size() / 4);
+  ctx.bytes_to_run = truncated;
+  const core::DynamicStage dynamic_stage;
+  const auto result = dynamic_stage.run(ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), core::StageAction::kStop);
+  EXPECT_EQ(ctx.report.status, core::DynamicStatus::kCrash);
+  EXPECT_FALSE(ctx.report.crash_message.empty());
+}
+
+}  // namespace
+}  // namespace dydroid::driver

@@ -30,6 +30,7 @@
 #include "core/pipeline.hpp"
 #include "core/report_json.hpp"
 #include "core/unpacker.hpp"
+#include "driver/corpus_runner.hpp"
 #include "malware/families.hpp"
 #include "obfuscation/packer.hpp"
 #include "support/log.hpp"
@@ -249,28 +250,27 @@ int cmd_survey(const Args& args) {
       }
     }
   }
-  std::size_t intercepted = 0, remote = 0, malware_apps = 0, vulns = 0;
-  std::uint64_t seed = 1;
-  for (const auto& app : corpus.apps) {
-    core::PipelineOptions options;
-    options.detector = &detector;
-    options.scenario_setup = [&app](os::Device& device) {
-      appgen::apply_scenario(app.scenario, device);
-    };
-    core::DyDroid pipeline(std::move(options));
-    const auto report = pipeline.analyze(app.apk, seed++);
-    if (report.intercepted(core::CodeKind::Dex) ||
-        report.intercepted(core::CodeKind::Native)) {
-      ++intercepted;
-    }
-    if (!report.remote_loaded().empty()) ++remote;
-    if (!report.malware_loaded().empty()) ++malware_apps;
-    if (!report.vulns.empty()) ++vulns;
-  }
+  // One shared pipeline mapped over the corpus by the parallel driver
+  // (worker count from --jobs, DYDROID_JOBS or hardware concurrency).
+  core::PipelineOptions options;
+  options.detector = &detector;
+  const core::DyDroid pipeline(std::move(options));
+  driver::RunnerConfig runner_config;
+  runner_config.seed_base = 1;  // app N runs with seed 1 + N
+  runner_config.jobs = std::stoull(args.value("jobs", "0"));
+  const driver::CorpusRunner runner(pipeline, runner_config);
+  const auto result = runner.run(corpus);
+  const auto& stats = result.stats;
   std::printf(
       "surveyed %zu apps: %zu intercepted DCL, %zu remote loaders, "
       "%zu malware carriers, %zu vulnerable\n",
-      corpus.apps.size(), intercepted, remote, malware_apps, vulns);
+      stats.apps, stats.intercepted, stats.remote_loaders,
+      stats.malware_carriers, stats.vulnerable);
+  std::printf("  %.1f ms on %zu worker(s), %.0f apps/s\n", result.wall_ms,
+              result.threads,
+              result.wall_ms > 0
+                  ? 1000.0 * static_cast<double>(stats.apps) / result.wall_ms
+                  : 0.0);
   return 0;
 }
 
@@ -286,7 +286,7 @@ void usage() {
                "  disasm <app.sapk>\n"
                "  pack <in.sapk> <out.sapk> [--trap]\n"
                "  unpack <packed.sapk> <out.sapk> [--seed N]\n"
-               "  survey [--scale S] [--seed N]\n");
+               "  survey [--scale S] [--seed N] [--jobs J]\n");
 }
 
 }  // namespace
@@ -298,7 +298,8 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const std::set<std::string> value_opts = {
-      "pkg", "category", "seed", "malware", "vuln", "scale", "companion"};
+      "pkg", "category", "seed", "malware", "vuln", "scale", "companion",
+      "jobs"};
   const auto args = parse(argc, argv, 2, value_opts);
   try {
     if (cmd == "gen") return cmd_gen(args);
