@@ -1,10 +1,37 @@
 #include "common.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "malware/families.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 
 namespace dydroid::bench {
+
+namespace {
+
+// Optional fault plan for the bench corpus, from the DYDROID_FAULTS env var
+// (docs/FAULTS.md grammar). Absent or empty -> nullptr, and the bench output
+// stays byte-identical to a faults-free build.
+const support::FaultPlan* faults_from_env() {
+  static const support::FaultPlan* plan = []() -> const support::FaultPlan* {
+    const char* text = std::getenv("DYDROID_FAULTS");
+    if (text == nullptr || text[0] == '\0') return nullptr;
+    auto parsed = support::FaultPlan::parse(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench: ignoring bad DYDROID_FAULTS: %s\n",
+                   parsed.error().c_str());
+      return nullptr;
+    }
+    static const support::FaultPlan stored = std::move(parsed.value());
+    return &stored;
+  }();
+  return plan;
+}
+
+}  // namespace
 
 malware::DroidNative make_trained_detector(int samples_per_family) {
   malware::DroidNative detector(0.9);
@@ -47,6 +74,7 @@ Measurement measure_corpus(const malware::DroidNative* detector,
   core::PipelineOptions options;
   options.detector = detector;
   options.runtime = runtime;
+  options.faults = faults_from_env();
   const core::DyDroid pipeline(std::move(options));
   driver::RunnerConfig runner_config;
   runner_config.seed_base = kCorpusSeedBase;

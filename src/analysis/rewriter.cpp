@@ -1,6 +1,7 @@
 #include "analysis/rewriter.hpp"
 
 #include "apk/apk.hpp"
+#include "support/fault.hpp"
 
 namespace dydroid::analysis {
 
@@ -9,6 +10,12 @@ using support::Result;
 
 Result<Bytes> rewrite_with_permission(std::span<const std::uint8_t> apk_bytes,
                                       std::string_view permission) {
+  // Fault-injection site: repack/apktool failure — the paper's Table II
+  // "Rewriting failure" row (support::FaultInjector).
+  if (support::fault_fire(support::FaultSite::kRewriteRepack)) {
+    return Result<Bytes>::failure(
+        support::fault_message(support::FaultSite::kRewriteRepack));
+  }
   apk::ApkFile pkg;
   try {
     // Strict mode: repackaging tooling verifies every entry, which is what

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/hash.hpp"
 
 namespace dydroid::apk {
@@ -115,6 +116,11 @@ Bytes ApkFile::serialize() const {
 
 ApkFile ApkFile::deserialize(std::span<const std::uint8_t> data,
                              ParseMode mode) {
+  // Fault-injection site: a truncated/corrupt container observed in the
+  // wild (support::FaultInjector, docs/FAULTS.md).
+  if (support::fault_fire(support::FaultSite::kApkDeserialize)) {
+    throw ParseError(support::fault_message(support::FaultSite::kApkDeserialize));
+  }
   support::ByteReader r(data);
   const auto magic = r.raw(kMagic.size());
   if (support::to_string(magic) != kMagic) throw ParseError("bad SimApk magic");

@@ -1,0 +1,124 @@
+#include "appgen/faulty.hpp"
+
+#include <algorithm>
+
+#include "apk/apk.hpp"
+#include "support/hash.hpp"
+
+namespace dydroid::appgen {
+
+using support::Bytes;
+using support::Rng;
+
+std::string_view corruption_layer_name(CorruptionLayer layer) {
+  switch (layer) {
+    case CorruptionLayer::kContainer: return "container";
+    case CorruptionLayer::kManifest: return "manifest";
+    case CorruptionLayer::kDex: return "dex";
+    case CorruptionLayer::kCrcTrap: return "crc-trap";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Truncate strictly inside the payload (past the magic, before the end),
+/// which the bounds-checked readers always reject.
+Bytes truncate_inside(std::span<const std::uint8_t> data, Rng& rng) {
+  const std::size_t lo = std::min<std::size_t>(6, data.size());
+  const std::size_t hi = data.size();
+  const std::size_t cut =
+      lo >= hi ? lo : lo + static_cast<std::size_t>(rng.below(hi - lo));
+  return Bytes(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(cut));
+}
+
+}  // namespace
+
+Bytes mutate_bytes(std::span<const std::uint8_t> data, Rng& rng) {
+  Bytes out(data.begin(), data.end());
+  switch (rng.below(4)) {
+    case 0: {  // bit-flip burst
+      const int flips = static_cast<int>(rng.range(1, 8));
+      for (int i = 0; i < flips && !out.empty(); ++i) {
+        const auto at = static_cast<std::size_t>(rng.below(out.size()));
+        out[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+    }
+    case 1:  // truncation
+      if (!out.empty()) {
+        out.resize(static_cast<std::size_t>(rng.below(out.size())));
+      }
+      break;
+    case 2: {  // garbage extension
+      const auto extra = static_cast<std::size_t>(rng.range(1, 64));
+      for (std::size_t i = 0; i < extra; ++i) {
+        out.push_back(static_cast<std::uint8_t>(rng.below(256)));
+      }
+      break;
+    }
+    default: {  // length-field lie: overwrite 4 aligned bytes with a huge u32
+      if (out.size() >= 4) {
+        const auto at = static_cast<std::size_t>(rng.below(out.size() - 3));
+        const std::uint32_t lie = 0xF0000000u | static_cast<std::uint32_t>(
+                                                    rng.below(0x0FFFFFFFu));
+        out[at] = static_cast<std::uint8_t>(lie);
+        out[at + 1] = static_cast<std::uint8_t>(lie >> 8);
+        out[at + 2] = static_cast<std::uint8_t>(lie >> 16);
+        out[at + 3] = static_cast<std::uint8_t>(lie >> 24);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Bytes corrupt_apk(std::span<const std::uint8_t> apk, CorruptionLayer layer,
+                  Rng& rng) {
+  switch (layer) {
+    case CorruptionLayer::kContainer:
+      return truncate_inside(apk, rng);
+    case CorruptionLayer::kManifest: {
+      auto pkg = apk::ApkFile::deserialize(apk);
+      // A minSdkVersion that is not a number reliably trips the parser.
+      pkg.put(apk::kManifestEntry,
+              "<manifest package=\"broken\">\n"
+              "  <uses-sdk minSdkVersion=\"NaN\"/>\n"
+              "</manifest>\n");
+      return pkg.serialize();
+    }
+    case CorruptionLayer::kDex: {
+      auto pkg = apk::ApkFile::deserialize(apk);
+      if (const auto* dex = pkg.get(apk::kClassesDexEntry)) {
+        pkg.put(apk::kClassesDexEntry, truncate_inside(*dex, rng));
+      }
+      return pkg.serialize();
+    }
+    case CorruptionLayer::kCrcTrap: {
+      auto pkg = apk::ApkFile::deserialize(apk);
+      pkg.put_with_bad_crc("assets/.trap",
+                           support::to_bytes("anti-repackaging"));
+      return pkg.serialize();
+    }
+  }
+  return Bytes(apk.begin(), apk.end());
+}
+
+FaultyCorpus corrupt_corpus(const Corpus& clean,
+                            const FaultyCorpusConfig& config) {
+  FaultyCorpus out;
+  out.corpus = clean;  // copy: specs, apks, scenarios
+  out.config = config;
+  for (std::size_t i = 0; i < out.corpus.apps.size(); ++i) {
+    // Per-app generator derived from (seed, index): selection and mutation
+    // survive corpus reordering/subsetting unchanged.
+    Rng rng(support::hash_combine(config.seed, static_cast<std::uint64_t>(i)));
+    if (!rng.chance(config.fraction)) continue;
+    out.corpus.apps[i].apk =
+        corrupt_apk(out.corpus.apps[i].apk, config.layer, rng);
+    out.corrupted.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace dydroid::appgen

@@ -1,0 +1,65 @@
+// FaultyCorpus: wraps a clean generated corpus and deterministically
+// corrupts a configurable fraction of its apps at a chosen layer — the
+// byte-level counterpart of support::FaultInjector's control-flow faults.
+// Where the injector asks "what if this call failed?", the faulty corpus
+// asks "what does the pipeline do with the malformed packages a real
+// marketplace crawl contains?" (the paper's 7,664 Table II failure apps).
+//
+// Selection and mutation both derive from (config.seed, app index), so the
+// same corpus + config always yields byte-identical corrupted apps, under
+// any worker count.
+#pragma once
+
+#include <vector>
+
+#include "appgen/corpus.hpp"
+#include "support/rng.hpp"
+
+namespace dydroid::appgen {
+
+/// Which layer of the package the corruption targets.
+enum class CorruptionLayer {
+  /// Truncate the serialized container mid-stream (decompiler crash).
+  kContainer,
+  /// Replace the manifest with one that trips the parser.
+  kManifest,
+  /// Truncate the classes.dex payload inside an otherwise valid container.
+  kDex,
+  /// Plant an anti-repackaging-style CRC trap entry: installs fine,
+  /// crashes the strict repacker (Table II "Rewriting failure").
+  kCrcTrap,
+};
+
+std::string_view corruption_layer_name(CorruptionLayer layer);
+
+struct FaultyCorpusConfig {
+  /// Fraction of apps to corrupt, selected app-by-app from (seed, index).
+  double fraction = 0.1;
+  CorruptionLayer layer = CorruptionLayer::kContainer;
+  std::uint64_t seed = 0xFA017;
+};
+
+struct FaultyCorpus {
+  Corpus corpus;                        // clean apps + corrupted replacements
+  std::vector<std::size_t> corrupted;   // indices into corpus.apps, ascending
+  FaultyCorpusConfig config;
+};
+
+/// Wrap `clean`, corrupting ~fraction of its apps at the configured layer.
+/// Non-selected apps are byte-identical to the clean corpus. Deterministic
+/// in (clean, config).
+FaultyCorpus corrupt_corpus(const Corpus& clean,
+                            const FaultyCorpusConfig& config);
+
+/// Corrupt one app package at the given layer. Deterministic in rng state.
+support::Bytes corrupt_apk(std::span<const std::uint8_t> apk,
+                           CorruptionLayer layer, support::Rng& rng);
+
+/// One seed-derived structural mutation of a binary blob: a bit flip burst,
+/// a truncation, a garbage extension, or a length-field lie. Shared by the
+/// fuzz round-trip tests: every output must parse or raise ParseError —
+/// never crash or trip a sanitizer.
+support::Bytes mutate_bytes(std::span<const std::uint8_t> data,
+                            support::Rng& rng);
+
+}  // namespace dydroid::appgen

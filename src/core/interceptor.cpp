@@ -1,5 +1,7 @@
 #include "core/interceptor.hpp"
 
+#include "support/fault.hpp"
+#include "support/log.hpp"
 #include "support/strings.hpp"
 
 namespace dydroid::core {
@@ -77,13 +79,21 @@ void CodeInterceptor::on_load(CodeKind kind,
     queue_.insert(path);
     if (snapshotted_.insert(path).second) {
       if (const auto* bytes = vm_->device().vfs().read_file(path)) {
-        InterceptedBinary binary;
-        binary.kind = kind;
-        binary.path = path;
-        binary.bytes = *bytes;
-        binary.call_site_class = event.call_site_class;
-        binary.entity = event.entity;
-        binaries_.push_back(std::move(binary));
+        // Fault-injection site: the snapshot copy suffers a short write and
+        // is discarded — the event is still logged, but the binary is lost
+        // to the per-binary analyses (support::FaultInjector).
+        if (support::fault_fire(support::FaultSite::kInterceptorIo)) {
+          support::log_warn("interceptor",
+                            "snapshot short write, dropped: " + path);
+        } else {
+          InterceptedBinary binary;
+          binary.kind = kind;
+          binary.path = path;
+          binary.bytes = *bytes;
+          binary.call_site_class = event.call_site_class;
+          binary.entity = event.entity;
+          binaries_.push_back(std::move(binary));
+        }
       }
     }
   }

@@ -62,6 +62,10 @@ std::vector<const BinaryReport*> AppReport::malware_loaded() const {
 DyDroid::DyDroid(PipelineOptions options)
     : options_(std::move(options)), stages_(default_stages()) {}
 
+DyDroid::DyDroid(PipelineOptions options,
+                 std::vector<std::unique_ptr<const Stage>> stages)
+    : options_(std::move(options)), stages_(std::move(stages)) {}
+
 DyDroid::~DyDroid() = default;
 DyDroid::DyDroid(DyDroid&&) noexcept = default;
 DyDroid& DyDroid::operator=(DyDroid&&) noexcept = default;
@@ -98,6 +102,21 @@ AppReport DyDroid::analyze(const AnalysisRequest& request) const {
   ctx.seed = request.seed;
   ctx.options = &options_;
   ctx.scenario_override = request.scenario_setup;
+
+  // Install the per-app fault session for this thread (docs/FAULTS.md):
+  // decisions derive from (seed, attempt), so an injected failure is
+  // reproducible from the app's corpus seed under any worker count. When no
+  // plan is configured the ambient session is left untouched, so callers
+  // (tests) may install their own scope around analyze().
+  std::optional<support::FaultSession> fault_session;
+  if (options_.faults != nullptr && !options_.faults->empty()) {
+    fault_session.emplace(
+        *options_.faults,
+        support::fault_session_seed(request.seed, request.attempt));
+  }
+  const support::FaultScope fault_scope(
+      fault_session.has_value() ? &*fault_session
+                                : support::current_fault_session());
 
   for (const auto& stage : stages_) {
     const StageResult result = run_stage_guarded(*stage, ctx);

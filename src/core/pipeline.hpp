@@ -21,6 +21,7 @@
 #include "malware/droidnative.hpp"
 #include "obfuscation/detector.hpp"
 #include "privacy/flowdroid.hpp"
+#include "support/fault.hpp"
 
 namespace dydroid::core {
 
@@ -49,6 +50,22 @@ struct PipelineOptions {
   const malware::DroidNative* detector = nullptr;
   /// Skip the dynamic phase (static-only measurement).
   bool dynamic_analysis = true;
+
+  // --- fault handling (docs/FAULTS.md) --------------------------------------
+  /// Deterministic fault-injection plan; null/empty disables injection (the
+  /// production fast path). The plan must outlive the pipeline. Each
+  /// analyze() call derives its fault session from (request.seed,
+  /// request.attempt), so injected failures are reproducible per app.
+  const support::FaultPlan* faults = nullptr;
+  /// Per-app wall-clock budget in ms; 0 disables. Enforced by
+  /// driver::CorpusRunner: an over-budget app counts as timed_out (and is
+  /// retried/quarantined under retry_on_crash), so one pathological app
+  /// cannot stall a worker unnoticed.
+  double max_app_wall_ms = 0.0;
+  /// Retry a crashed or timed-out app once with a fresh fault session
+  /// (attempt salts the session seed); if the retry fails too, the app is
+  /// quarantined. Policy lives in driver::CorpusRunner.
+  bool retry_on_crash = false;
 };
 
 enum class DynamicStatus {
@@ -108,11 +125,18 @@ struct AnalysisRequest {
   std::span<const std::uint8_t> apk_bytes;
   std::uint64_t seed = 0;
   const std::function<void(os::Device&)>* scenario_setup = nullptr;
+  /// Retry ordinal (0 = first attempt). Salts the fault session so
+  /// probability-mode faults are transient across retries — deterministically.
+  std::uint32_t attempt = 0;
 };
 
 class DyDroid {
  public:
   explicit DyDroid(PipelineOptions options = {});
+  /// Custom stage list (testing/extension); stages run in the given order
+  /// under the same no-exceptions guarantee as the canonical pipeline.
+  DyDroid(PipelineOptions options,
+          std::vector<std::unique_ptr<const Stage>> stages);
   ~DyDroid();
   DyDroid(DyDroid&&) noexcept;
   DyDroid& operator=(DyDroid&&) noexcept;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace dydroid::dex {
 
@@ -123,6 +124,10 @@ Bytes DexFile::serialize() const {
 }
 
 DexFile DexFile::deserialize(std::span<const std::uint8_t> data) {
+  // Fault-injection site: bad string/method data (support::FaultInjector).
+  if (support::fault_fire(support::FaultSite::kDexParse)) {
+    throw ParseError(support::fault_message(support::FaultSite::kDexParse));
+  }
   ByteReader r(data);
   const auto magic = r.raw(kMagic.size());
   if (support::to_string(magic) != kMagic) {
@@ -155,7 +160,11 @@ DexFile DexFile::deserialize(std::span<const std::uint8_t> data) {
       m.num_params = r.u16();
       m.num_registers = r.u16();
       const auto ni = r.u32();
-      m.code.reserve(ni);
+      // A lying length prefix must not drive the allocation: every
+      // instruction consumes at least one byte, so the remaining input
+      // bounds any honest count (the per-instruction reads then reject
+      // the lie with a truncation ParseError instead of a bad_alloc).
+      m.code.reserve(std::min<std::size_t>(ni, r.remaining()));
       for (std::uint32_t k = 0; k < ni; ++k) m.code.push_back(read_instruction(r));
       c.methods.push_back(std::move(m));
     }

@@ -19,6 +19,9 @@ void AggregateStats::absorb(const AppOutcome& outcome) {
     case core::DynamicStatus::kCrash: ++crashed; break;
     case core::DynamicStatus::kExercised: ++exercised; break;
   }
+  if (outcome.timed_out) ++timed_out;
+  if (outcome.attempts > 1) ++retried;
+  if (outcome.quarantined) ++quarantined;
   if (report.decompile_failed) ++decompile_failed;
   if (report.static_dcl.any()) ++static_dcl;
   if (!report.binaries.empty()) ++intercepted;
@@ -53,6 +56,9 @@ void AggregateStats::merge(const AggregateStats& other) {
   privacy_leaking += other.privacy_leaking;
   binaries += other.binaries;
   events += other.events;
+  timed_out += other.timed_out;
+  retried += other.retried;
+  quarantined += other.quarantined;
   total_app_ms += other.total_app_ms;
   if (other.max_app_ms > max_app_ms) max_app_ms = other.max_app_ms;
 }
@@ -81,6 +87,43 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
   std::atomic<std::size_t> next{0};
   std::vector<AggregateStats> worker_stats(result.threads);
 
+  const core::PipelineOptions& options = pipeline_->options();
+
+  // One attempt: analyze with the app's seed, recording wall time on every
+  // path. The pipeline already converts stage failures into crash outcomes;
+  // this is the last-resort belt for anything else (bad_alloc, a scenario
+  // closure throwing before the stages run), so a worker thread can never
+  // be torn down — and a crashing app still gets its elapsed time recorded
+  // instead of wall_ms = 0.
+  const auto run_attempt = [&](const AppJob& job, AppOutcome& outcome,
+                               std::uint32_t attempt) {
+    core::AnalysisRequest request;
+    request.apk_bytes = job.apk;
+    request.seed = outcome.seed;
+    request.attempt = attempt;
+    request.scenario_setup = job.scenario ? &job.scenario : nullptr;
+
+    const support::Stopwatch app_clock;
+    try {
+      outcome.report = pipeline_->analyze(request);
+    } catch (const std::exception& e) {
+      outcome.report = core::AppReport{};
+      outcome.report.status = core::DynamicStatus::kCrash;
+      outcome.report.crash_message = std::string("runner: ") + e.what();
+    } catch (...) {
+      outcome.report = core::AppReport{};
+      outcome.report.status = core::DynamicStatus::kCrash;
+      outcome.report.crash_message = "runner: unknown exception";
+    }
+    const double attempt_ms = app_clock.elapsed_ms();
+    outcome.wall_ms += attempt_ms;
+    const bool over_budget =
+        options.max_app_wall_ms > 0.0 && attempt_ms > options.max_app_wall_ms;
+    if (over_budget) outcome.timed_out = true;
+    return over_budget ||
+           outcome.report.status == core::DynamicStatus::kCrash;
+  };
+
   // Each worker claims the next unprocessed index, analyzes it with its
   // index-derived seed and writes into that index's pre-sized outcome
   // slot — disjoint writes, worker-local tallies, no locks on the hot path.
@@ -91,16 +134,19 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
       if (index >= jobs.size()) break;
       const AppJob& job = jobs[index];
       AppOutcome& outcome = result.outcomes[index];
-      outcome.seed = seed_for_app(config_.seed_base, index);
+      outcome.seed = job.seed.value_or(seed_for_app(config_.seed_base, index));
 
-      core::AnalysisRequest request;
-      request.apk_bytes = job.apk;
-      request.seed = outcome.seed;
-      request.scenario_setup = job.scenario ? &job.scenario : nullptr;
-
-      const support::Stopwatch app_clock;
-      outcome.report = pipeline_->analyze(request);
-      outcome.wall_ms = app_clock.elapsed_ms();
+      // Timeout + single-retry-then-quarantine policy (docs/FAULTS.md):
+      // a crashed or over-budget app gets exactly one re-run (the retry's
+      // fault session is salted by the attempt, so transient injected
+      // faults clear deterministically); if the retry fails too, the app
+      // is quarantined — its final report keeps its Table II bucket.
+      bool failed = run_attempt(job, outcome, 0);
+      if (failed && options.retry_on_crash) {
+        outcome.attempts = 2;
+        failed = run_attempt(job, outcome, 1);
+        outcome.quarantined = failed;
+      }
       local.absorb(outcome);
     }
   };

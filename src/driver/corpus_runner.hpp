@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -40,13 +41,27 @@ struct AppJob {
   std::span<const std::uint8_t> apk;
   /// Per-app device preparation (hosted payloads, companion apps, files).
   std::function<void(os::Device&)> scenario;
+  /// Explicit seed override. When unset, the seed derives from the job's
+  /// position (seed_for_app). Set this to the app's *original* corpus seed
+  /// when running a filtered/reordered subset, so every app reproduces its
+  /// full-run report byte-for-byte.
+  std::optional<std::uint64_t> seed;
 };
 
 /// Per-app result with timing, in corpus order.
 struct AppOutcome {
   core::AppReport report;
   std::uint64_t seed = 0;
+  /// Total wall time spent on the app, summed across attempts. Recorded on
+  /// every path — including crash outcomes and escaping exceptions.
   double wall_ms = 0.0;
+  /// Analysis attempts consumed (2 when the retry policy re-ran the app).
+  std::uint32_t attempts = 1;
+  /// An attempt exceeded PipelineOptions::max_app_wall_ms.
+  bool timed_out = false;
+  /// The final attempt still crashed/timed out under retry_on_crash; the
+  /// app is excluded from trust but keeps its Table II bucket.
+  bool quarantined = false;
 };
 
 /// Corpus-level tallies. Workers each reduce into a private instance on the
@@ -69,6 +84,10 @@ struct AggregateStats {
   std::size_t privacy_leaking = 0;   // apps whose loaded code leaks privacy
   std::size_t binaries = 0;          // total intercepted binaries
   std::size_t events = 0;            // total DCL events
+  // Fault-handling policy (docs/FAULTS.md).
+  std::size_t timed_out = 0;    // apps exceeding max_app_wall_ms
+  std::size_t retried = 0;      // apps re-run by the retry policy
+  std::size_t quarantined = 0;  // apps still failing after the retry
   // Timing.
   double total_app_ms = 0.0;
   double max_app_ms = 0.0;

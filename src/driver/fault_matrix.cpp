@@ -1,0 +1,376 @@
+#include "driver/fault_matrix.hpp"
+
+#include <unordered_set>
+#include <utility>
+
+#include "core/report_json.hpp"
+#include "support/fault.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace dydroid::driver {
+
+namespace {
+
+using core::AppReport;
+using core::DynamicStatus;
+
+FaultPrediction identical() {
+  FaultPrediction p;
+  p.byte_identical = true;
+  return p;
+}
+
+/// All three parse sites sit under analysis::decompile, the first consumer
+/// of the package bytes: the tool failure lands every app in the Table II
+/// "not run" row with decompile_failed set, before any dynamic phase.
+FaultPrediction decompiler_killed() {
+  FaultPrediction p;
+  p.status = DynamicStatus::kNotRun;
+  p.decompile_failed = true;
+  p.no_binaries = true;
+  return p;
+}
+
+/// Did the baseline run reach DynamicStage (device boot + install)?
+bool entered_dynamic(const AppReport& baseline) {
+  switch (baseline.status) {
+    case DynamicStatus::kNoActivity:
+    case DynamicStatus::kCrash:
+    case DynamicStatus::kExercised:
+      return true;
+    case DynamicStatus::kNotRun:
+    case DynamicStatus::kRewritingFailure:
+      return false;
+  }
+  return false;
+}
+
+/// Did the baseline run load any non-system native binary? (System libs
+/// short-circuit before NativeLibrary::deserialize, so the native.load
+/// site never fires for them.)
+bool loads_nonsystem_native(const AppReport& baseline) {
+  for (const auto& event : baseline.events) {
+    if (event.kind == core::CodeKind::Native && !event.system_binary) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct RunOutput {
+  CorpusResult result;
+  std::vector<std::string> json;  // report_to_json per app, corpus order
+};
+
+RunOutput run_once(const appgen::Corpus& corpus,
+                   const support::FaultPlan* plan, std::size_t workers,
+                   std::uint64_t seed_base) {
+  core::PipelineOptions options;  // detector off: fully predictable matrix
+  options.faults = plan;
+  const core::DyDroid pipeline(std::move(options));
+  RunnerConfig config;
+  config.jobs = workers;
+  config.seed_base = seed_base;
+  const CorpusRunner runner(pipeline, config);
+  RunOutput out{runner.run(corpus), {}};
+  out.json.reserve(out.result.outcomes.size());
+  for (const auto& outcome : out.result.outcomes) {
+    out.json.push_back(core::report_to_json(outcome.report));
+  }
+  return out;
+}
+
+/// Run `corpus` under `plan` once per worker count; every rerun must be
+/// byte-identical (per-app report JSON) to the first. Returns the first.
+RunOutput run_deterministic(const std::string& label,
+                            const appgen::Corpus& corpus,
+                            const support::FaultPlan* plan,
+                            const FaultCheckOptions& options,
+                            std::vector<std::string>& failures) {
+  const std::size_t first_workers =
+      options.worker_counts.empty() ? 1 : options.worker_counts.front();
+  RunOutput first = run_once(corpus, plan, first_workers, options.seed_base);
+  for (std::size_t wi = 1; wi < options.worker_counts.size(); ++wi) {
+    const std::size_t workers = options.worker_counts[wi];
+    const RunOutput other = run_once(corpus, plan, workers, options.seed_base);
+    for (std::size_t i = 0; i < first.json.size(); ++i) {
+      if (other.json[i] != first.json[i]) {
+        failures.push_back(support::format(
+            "%s: app %zu report differs between %zu and %zu workers",
+            label.c_str(), i, first_workers, workers));
+        break;
+      }
+    }
+  }
+  return first;
+}
+
+/// Check one finished case against its per-app predictions. `corrupted`
+/// (when non-null) limits the predictor to the corrupted subset; all other
+/// apps must stay byte-identical to the baseline.
+void check_predictions(FaultCaseResult& cr, const appgen::Corpus& corpus,
+                       const RunOutput& baseline, const RunOutput& run,
+                       const FaultPredictor& predict,
+                       const std::unordered_set<std::size_t>* corrupted,
+                       std::size_t max_failures) {
+  std::size_t suppressed = 0;
+  const auto fail = [&](std::string message) {
+    if (cr.failures.size() < max_failures) {
+      cr.failures.push_back(std::move(message));
+    } else {
+      ++suppressed;
+    }
+  };
+
+  for (std::size_t i = 0; i < run.result.outcomes.size(); ++i) {
+    const AppReport& got = run.result.outcomes[i].report;
+    const AppReport& base = baseline.result.outcomes[i].report;
+    cr.histogram[static_cast<std::size_t>(got.status)] += 1;
+    if (got.status != base.status) ++cr.shifted;
+    if (run.json[i] == baseline.json[i]) ++cr.identical;
+
+    const bool in_scope = corrupted == nullptr || corrupted->count(i) > 0;
+    const FaultPrediction p =
+        in_scope ? predict(corpus.apps[i], base) : identical();
+    const char* pkg = corpus.apps[i].spec.package.c_str();
+
+    if (p.byte_identical) {
+      if (run.json[i] != baseline.json[i]) {
+        fail(support::format(
+            "%s: app %zu (%s): expected byte-identical report, got %s "
+            "(baseline %s)",
+            cr.name.c_str(), i, pkg,
+            std::string(core::dynamic_status_name(got.status)).c_str(),
+            std::string(core::dynamic_status_name(base.status)).c_str()));
+      }
+      continue;
+    }
+    if (p.status.has_value() && got.status != *p.status) {
+      fail(support::format(
+          "%s: app %zu (%s): expected bucket %s, got %s (baseline %s)",
+          cr.name.c_str(), i, pkg,
+          std::string(core::dynamic_status_name(*p.status)).c_str(),
+          std::string(core::dynamic_status_name(got.status)).c_str(),
+          std::string(core::dynamic_status_name(base.status)).c_str()));
+    }
+    if (p.decompile_failed.has_value() &&
+        got.decompile_failed != *p.decompile_failed) {
+      fail(support::format("%s: app %zu (%s): expected decompile_failed=%d",
+                           cr.name.c_str(), i, pkg,
+                           static_cast<int>(*p.decompile_failed)));
+    }
+    if (p.no_binaries.has_value() && *p.no_binaries && !got.binaries.empty()) {
+      fail(support::format(
+          "%s: app %zu (%s): expected no intercepted binaries, got %zu",
+          cr.name.c_str(), i, pkg, got.binaries.size()));
+    }
+  }
+  if (suppressed > 0) {
+    cr.failures.push_back(
+        support::format("%s: ... and %zu more prediction failures",
+                        cr.name.c_str(), suppressed));
+  }
+}
+
+}  // namespace
+
+std::vector<FaultMatrixCase> default_fault_matrix() {
+  std::vector<FaultMatrixCase> cases;
+  const auto kill = [](const appgen::GeneratedApp&, const AppReport&) {
+    return decompiler_killed();
+  };
+  cases.push_back({"apk.deserialize", "apk.deserialize=always", kill});
+  cases.push_back({"manifest.parse", "manifest.parse=always", kill});
+  cases.push_back({"dex.parse", "dex.parse=always", kill});
+
+  // RewriteStage repacks only the apps that both reached it (static DCL
+  // filter passed) and lack WRITE_EXTERNAL_STORAGE in their manifest.
+  cases.push_back(
+      {"rewrite.repack", "rewrite.repack=always",
+       [](const appgen::GeneratedApp& app, const AppReport& baseline) {
+         if (baseline.status != DynamicStatus::kNotRun &&
+             !app.spec.write_external_permission) {
+           FaultPrediction p;
+           p.status = DynamicStatus::kRewritingFailure;
+           p.decompile_failed = false;
+           p.no_binaries = true;
+           return p;
+         }
+         return identical();
+       }});
+
+  // Device boot is the first statement of DynamicStage and install follows
+  // immediately: every app that reached the dynamic phase in the baseline
+  // becomes a crash outcome; everyone else never touches the device.
+  const auto dynamic_crash = [](const appgen::GeneratedApp&,
+                                const AppReport& baseline) {
+    if (entered_dynamic(baseline)) {
+      FaultPrediction p;
+      p.status = DynamicStatus::kCrash;
+      p.decompile_failed = false;
+      p.no_binaries = true;
+      return p;
+    }
+    return identical();
+  };
+  cases.push_back({"device.boot", "device.boot=always", dynamic_crash});
+  cases.push_back({"device.install", "device.install=always", dynamic_crash});
+
+  // Snapshot short-writes drop every intercepted binary but change nothing
+  // about the run itself: same bucket, same events, zero binaries.
+  cases.push_back(
+      {"interceptor.io", "interceptor.io=always",
+       [](const appgen::GeneratedApp&, const AppReport& baseline) {
+         if (baseline.binaries.empty()) return identical();
+         FaultPrediction p;
+         p.status = baseline.status;
+         p.decompile_failed = baseline.decompile_failed;
+         p.no_binaries = true;
+         return p;
+       }});
+
+  // A failing native loader surfaces as an UnsatisfiedLinkError crash in
+  // exactly the apps that loaded non-system native code in the baseline.
+  cases.push_back(
+      {"native.load", "native.load=always",
+       [](const appgen::GeneratedApp&, const AppReport& baseline) {
+         if (loads_nonsystem_native(baseline)) {
+           FaultPrediction p;
+           p.status = DynamicStatus::kCrash;
+           return p;
+         }
+         return identical();
+       }});
+  return cases;
+}
+
+std::vector<CorruptionMatrixCase> default_corruption_matrix() {
+  std::vector<CorruptionMatrixCase> cases;
+  const auto kill = [](const appgen::GeneratedApp&, const AppReport&) {
+    return decompiler_killed();
+  };
+  // Container truncation, a poisoned manifest and a truncated classes.dex
+  // all fail the (strict) decompiler first: Table II "not run".
+  cases.push_back({appgen::CorruptionLayer::kContainer, kill});
+  cases.push_back({appgen::CorruptionLayer::kManifest, kill});
+  cases.push_back({appgen::CorruptionLayer::kDex, kill});
+  // A CRC trap entry is invisible to the lenient parse paths; it only
+  // detonates inside the strict repacker, i.e. for apps that need the
+  // permission rewrite (Table II "rewriting failure").
+  cases.push_back(
+      {appgen::CorruptionLayer::kCrcTrap,
+       [](const appgen::GeneratedApp& app, const AppReport& baseline) {
+         FaultPrediction p;
+         if (baseline.status != DynamicStatus::kNotRun &&
+             !app.spec.write_external_permission) {
+           p.status = DynamicStatus::kRewritingFailure;
+           p.no_binaries = true;
+         } else {
+           p.status = baseline.status;
+         }
+         return p;
+       }});
+  return cases;
+}
+
+std::size_t FaultCheckReport::failure_count() const {
+  std::size_t count = failures.size();
+  for (const auto& c : cases) count += c.failures.size();
+  return count;
+}
+
+FaultCheckReport run_fault_matrix(const FaultCheckOptions& options) {
+  support::set_log_level(support::LogLevel::Error);
+  FaultCheckReport report;
+
+  appgen::CorpusConfig corpus_config;
+  corpus_config.scale = options.scale;
+  corpus_config.seed = options.corpus_seed;
+  const appgen::Corpus corpus = appgen::generate_corpus(corpus_config);
+  report.apps = corpus.apps.size();
+
+  const RunOutput baseline = run_deterministic("baseline", corpus, nullptr,
+                                               options, report.failures);
+  for (const auto& outcome : baseline.result.outcomes) {
+    report.baseline[static_cast<std::size_t>(outcome.report.status)] += 1;
+  }
+
+  for (const auto& site_case : default_fault_matrix()) {
+    FaultCaseResult cr;
+    cr.name = site_case.name;
+    cr.plan = site_case.plan;
+    auto parsed = support::FaultPlan::parse(site_case.plan);
+    if (!parsed.ok()) {
+      cr.failures.push_back(cr.name + ": plan parse failed: " +
+                            parsed.error());
+      report.cases.push_back(std::move(cr));
+      continue;
+    }
+    const support::FaultPlan plan = std::move(parsed).take();
+    const RunOutput run =
+        run_deterministic(cr.name, corpus, &plan, options, cr.failures);
+    check_predictions(cr, corpus, baseline, run, site_case.predict, nullptr,
+                      options.max_failures_per_case);
+    report.cases.push_back(std::move(cr));
+  }
+
+  if (options.check_corruption) {
+    for (const auto& corruption : default_corruption_matrix()) {
+      FaultCaseResult cr;
+      cr.name = std::string("corrupt:") +
+                std::string(appgen::corruption_layer_name(corruption.layer));
+      appgen::FaultyCorpusConfig faulty_config;
+      faulty_config.fraction = options.corruption_fraction;
+      faulty_config.layer = corruption.layer;
+      const appgen::FaultyCorpus faulty =
+          appgen::corrupt_corpus(corpus, faulty_config);
+      const std::unordered_set<std::size_t> corrupted(
+          faulty.corrupted.begin(), faulty.corrupted.end());
+      const RunOutput run = run_deterministic(cr.name, faulty.corpus, nullptr,
+                                              options, cr.failures);
+      check_predictions(cr, corpus, baseline, run, corruption.predict,
+                        &corrupted, options.max_failures_per_case);
+      report.cases.push_back(std::move(cr));
+    }
+  }
+  return report;
+}
+
+std::string format_fault_check(const FaultCheckReport& report) {
+  std::string out;
+  const auto histogram_cells = [](const StatusHistogram& h) {
+    return support::format("%6zu %6zu %6zu %6zu %6zu", h[0], h[1], h[2], h[3],
+                           h[4]);
+  };
+  out += support::format(
+      "fault matrix: %zu apps, %zu cases, %zu prediction/determinism "
+      "failures\n\n",
+      report.apps, report.cases.size(), report.failure_count());
+  out += support::format("%-22s %-26s %7s %7s  %6s %6s %6s %6s %6s\n", "case",
+                         "plan", "shifted", "ident", "n-run", "rewrt",
+                         "no-act", "crash", "exerc");
+  out += support::format("%-22s %-26s %7s %7s  %s\n", "baseline", "(faults off)",
+                         "-", "-", histogram_cells(report.baseline).c_str());
+  for (const auto& c : report.cases) {
+    out += support::format(
+        "%-22s %-26s %7zu %7zu  %s\n", c.name.c_str(),
+        c.plan.empty() ? "(byte corruption)" : c.plan.c_str(), c.shifted,
+        c.identical, histogram_cells(c.histogram).c_str());
+  }
+  std::vector<std::string> all_failures = report.failures;
+  for (const auto& c : report.cases) {
+    all_failures.insert(all_failures.end(), c.failures.begin(),
+                        c.failures.end());
+  }
+  if (all_failures.empty()) {
+    out += "\nall per-site bucket predictions hold; reports byte-identical "
+           "across worker counts\n";
+  } else {
+    out += "\nfailures:\n";
+    for (const auto& f : all_failures) out += "  " + f + "\n";
+  }
+  return out;
+}
+
+}  // namespace dydroid::driver

@@ -1,0 +1,113 @@
+// Golden-corpus differential fault matrix: the harness behind
+// `dydroid faultcheck` and tests/fault_matrix_test.cpp.
+//
+// It generates one small paper-calibrated corpus, records a fault-free
+// baseline, then replays the same corpus with exactly one injection site
+// armed (`site=always`) per case — plus one byte-corruption case per
+// appgen::CorruptionLayer. For every app it asserts the outcome moved only
+// into the bucket the Table II failure taxonomy predicts for that site
+// (or stayed byte-identical when the site is unreachable for that app),
+// and that every configuration is byte-identical across 1/2/8 workers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "appgen/corpus.hpp"
+#include "appgen/faulty.hpp"
+#include "core/pipeline.hpp"
+#include "driver/corpus_runner.hpp"
+
+namespace dydroid::driver {
+
+/// What one fault case predicts for one app, given the app's generation
+/// spec (ground truth) and its fault-free baseline report.
+struct FaultPrediction {
+  /// The site is unreachable for this app: the full report (JSON) must be
+  /// byte-identical to the baseline. When set, the other fields are unused.
+  bool byte_identical = false;
+  /// Expected Table II bucket under the fault.
+  std::optional<core::DynamicStatus> status;
+  std::optional<bool> decompile_failed;
+  /// True -> report.binaries must be empty under the fault.
+  std::optional<bool> no_binaries;
+};
+
+using FaultPredictor = std::function<FaultPrediction(
+    const appgen::GeneratedApp& app, const core::AppReport& baseline)>;
+
+/// One differential case: a fault plan plus its per-app prediction.
+struct FaultMatrixCase {
+  std::string name;
+  std::string plan;  // support::FaultPlan grammar, e.g. "dex.parse=always"
+  FaultPredictor predict;
+};
+
+/// Every injection site in `always` mode with its predicted bucket:
+///   apk.deserialize / manifest.parse / dex.parse -> not-run (decompiler
+///     fails first), rewrite.repack -> rewriting-failure for apps needing
+///     the permission injection, device.boot / device.install -> crash for
+///     apps that reach the dynamic phase, interceptor.io -> same bucket but
+///     zero intercepted binaries, native.load -> crash for apps that load
+///     non-system native code at runtime.
+std::vector<FaultMatrixCase> default_fault_matrix();
+
+/// One byte-corruption case: corrupt a fraction of the corpus at `layer`
+/// (appgen::corrupt_corpus); `predict` applies to the corrupted apps, all
+/// others must stay byte-identical to the baseline.
+struct CorruptionMatrixCase {
+  appgen::CorruptionLayer layer;
+  FaultPredictor predict;
+};
+
+std::vector<CorruptionMatrixCase> default_corruption_matrix();
+
+/// Outcome histogram indexed by static_cast<std::size_t>(DynamicStatus).
+using StatusHistogram = std::array<std::size_t, 5>;
+
+struct FaultCaseResult {
+  std::string name;
+  std::string plan;  // empty for corruption cases
+  StatusHistogram histogram{};
+  std::size_t shifted = 0;    // apps whose status bucket moved vs baseline
+  std::size_t identical = 0;  // apps byte-identical to the baseline
+  std::vector<std::string> failures;
+};
+
+struct FaultCheckOptions {
+  /// Corpus scale; 0.0035 of the paper's population is ~200 apps.
+  double scale = 0.0035;
+  std::uint64_t corpus_seed = 20161101;
+  std::uint64_t seed_base = kDefaultSeedBase;
+  /// Worker counts every configuration must agree across.
+  std::vector<std::size_t> worker_counts = {1, 2, 8};
+  /// Also run the byte-corruption (FaultyCorpus) cases.
+  bool check_corruption = true;
+  /// Fraction of apps corrupted per corruption case.
+  double corruption_fraction = 0.35;
+  /// Cap on recorded failure messages per case (keeps reports readable).
+  std::size_t max_failures_per_case = 8;
+};
+
+struct FaultCheckReport {
+  std::size_t apps = 0;
+  StatusHistogram baseline{};
+  std::vector<FaultCaseResult> cases;
+  /// Failures not attributable to one case (e.g. plan parse errors).
+  std::vector<std::string> failures;
+
+  [[nodiscard]] std::size_t failure_count() const;
+  [[nodiscard]] bool passed() const { return failure_count() == 0; }
+};
+
+/// Run the full differential matrix. Deterministic in `options`.
+FaultCheckReport run_fault_matrix(const FaultCheckOptions& options = {});
+
+/// Render the report as a text table (the `dydroid faultcheck` output).
+std::string format_fault_check(const FaultCheckReport& report);
+
+}  // namespace dydroid::driver

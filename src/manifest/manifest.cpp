@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/fault.hpp"
 #include "support/strings.hpp"
 
 namespace dydroid::manifest {
@@ -102,6 +103,10 @@ std::string_view trim(std::string_view s) {
 }  // namespace
 
 Manifest Manifest::from_text(std::string_view text) {
+  // Fault-injection site: malformed manifest (support::FaultInjector).
+  if (support::fault_fire(support::FaultSite::kManifestParse)) {
+    throw ParseError(support::fault_message(support::FaultSite::kManifestParse));
+  }
   Manifest m;
   bool saw_manifest = false;
   for (const auto& raw_line : support::split(text, '\n')) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace dydroid::nativebin {
 
@@ -46,6 +47,10 @@ support::Bytes NativeLibrary::serialize() const {
 }
 
 NativeLibrary NativeLibrary::deserialize(std::span<const std::uint8_t> data) {
+  // Fault-injection site: corrupt .so payload (support::FaultInjector).
+  if (support::fault_fire(support::FaultSite::kNativeLoad)) {
+    throw ParseError(support::fault_message(support::FaultSite::kNativeLoad));
+  }
   support::ByteReader r(data);
   const auto magic = r.raw(kMagic.size());
   if (support::to_string(magic) != kMagic) {

@@ -1,11 +1,23 @@
 #include "os/device.hpp"
 
+#include <stdexcept>
+
+#include "support/fault.hpp"
+
 namespace dydroid::os {
 
 Device::Device(DeviceConfig config)
     : vfs_(config.api_level, config.storage_capacity_bytes),
       network_(&services_),
       pm_(&vfs_) {
+  // Fault-injection site: the measurement device failed to boot / is
+  // unavailable (support::FaultInjector). The pipeline's stage guard maps
+  // the exception to the app's crash outcome; it never tears down a worker.
+  if (support::fault_fire(support::FaultSite::kDeviceBoot)) {
+    throw std::runtime_error(
+        support::fault_message(support::FaultSite::kDeviceBoot) +
+        ": device unavailable");
+  }
   // Preinstall the trusted OS-vendor native libraries the DCL logger skips
   // (paper §III-B: "skips the system binaries, such as native libraries in
   // /system/lib").

@@ -1,6 +1,7 @@
 #include "os/package_manager.hpp"
 
 #include "os/vfs.hpp"
+#include "support/fault.hpp"
 #include "support/strings.hpp"
 
 namespace dydroid::os {
@@ -8,6 +9,13 @@ namespace dydroid::os {
 using support::Status;
 
 Status PackageManager::install(const apk::ApkFile& apk) {
+  // Fault-injection site: install timeout / installer failure
+  // (support::FaultInjector).
+  if (support::fault_fire(support::FaultSite::kDeviceInstall)) {
+    return Status::failure(
+        support::fault_message(support::FaultSite::kDeviceInstall) +
+        ": install timed out");
+  }
   manifest::Manifest m;
   try {
     m = apk.read_manifest();

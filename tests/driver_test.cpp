@@ -5,7 +5,10 @@
 // unit coverage.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "appgen/corpus.hpp"
@@ -13,6 +16,7 @@
 #include "core/report_json.hpp"
 #include "core/stages.hpp"
 #include "driver/corpus_runner.hpp"
+#include "support/fault.hpp"
 
 namespace dydroid::driver {
 namespace {
@@ -188,6 +192,188 @@ TEST(CorpusRunner, MalformedAppDoesNotAbortBatch) {
       << result.outcomes[2].report.crash_message;
   EXPECT_EQ(result.stats.apps, 3u);
   EXPECT_EQ(result.stats.decompile_failed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// (d) Property: any subset in any order reproduces the full run's reports
+//     byte-for-byte, provided each job carries its original corpus seed.
+// ---------------------------------------------------------------------------
+
+TEST(CorpusRunner, SubsetAndPermutationReproduceFullRunReports) {
+  const auto corpus = small_corpus();
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  RunnerConfig config;
+  config.jobs = 2;
+  const CorpusRunner runner(pipeline, config);
+  const auto full_json = report_jsons(runner.run(corpus));
+
+  support::Rng rng(0x5B5E7);
+  for (int trial = 0; trial < 4; ++trial) {
+    // Pick a random subset of corpus indices, then shuffle it.
+    std::vector<std::size_t> picked;
+    for (std::size_t i = 0; i < corpus.apps.size(); ++i) {
+      if (rng.chance(0.4)) picked.push_back(i);
+    }
+    if (picked.empty()) picked.push_back(trial % corpus.apps.size());
+    for (std::size_t i = picked.size(); i > 1; --i) {
+      std::swap(picked[i - 1], picked[rng.below(i)]);
+    }
+
+    std::vector<AppJob> jobs;
+    jobs.reserve(picked.size());
+    for (const auto index : picked) {
+      const auto& app = corpus.apps[index];
+      AppJob job;
+      job.apk = app.apk;
+      job.scenario = [&app](os::Device& device) {
+        appgen::apply_scenario(app.scenario, device);
+      };
+      // The override pins the app to its full-run seed, so filtering and
+      // reordering cannot perturb its report.
+      job.seed = seed_for_app(kDefaultSeedBase, index);
+      jobs.push_back(std::move(job));
+    }
+    const auto subset = runner.run(jobs);
+    ASSERT_EQ(subset.outcomes.size(), picked.size());
+    for (std::size_t j = 0; j < picked.size(); ++j) {
+      EXPECT_EQ(subset.outcomes[j].seed,
+                seed_for_app(kDefaultSeedBase, picked[j]));
+      EXPECT_EQ(core::report_to_json(subset.outcomes[j].report),
+                full_json[picked[j]])
+          << "trial " << trial << " subset position " << j << " corpus index "
+          << picked[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (e) Fault-handling policy: wall clocks, timeout classification, retry and
+//     quarantine (docs/FAULTS.md).
+// ---------------------------------------------------------------------------
+
+TEST(CorpusRunner, WallTimeIsRecordedOnEveryPathIncludingCrashes) {
+  appgen::AppSpec spec;
+  spec.package = "com.driver.timed";
+  spec.category = "Tools";
+  spec.ad_sdk = true;
+  support::Rng rng(17);
+  const auto good = appgen::build_app(spec, rng);
+  const std::vector<std::uint8_t> garbage = {'j', 'u', 'n', 'k', 0x00, 0xFF};
+
+  std::vector<AppJob> jobs(3);
+  jobs[0].apk = good.apk;
+  jobs[0].scenario = [&good](os::Device& device) {
+    appgen::apply_scenario(good.scenario, device);
+  };
+  jobs[1].apk = garbage;  // crash path
+  jobs[2] = jobs[0];
+
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  RunnerConfig config;
+  config.jobs = 2;
+  const auto result = CorpusRunner(pipeline, config).run(jobs);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    EXPECT_GT(result.outcomes[i].wall_ms, 0.0) << "app " << i;
+    EXPECT_LE(result.outcomes[i].wall_ms, result.stats.max_app_ms);
+    total += result.outcomes[i].wall_ms;
+  }
+  EXPECT_DOUBLE_EQ(result.stats.total_app_ms, total);
+  EXPECT_GT(result.wall_ms, 0.0);
+}
+
+TEST(CorpusRunner, OverBudgetAppIsTimedOutRetriedAndQuarantined) {
+  appgen::AppSpec spec;
+  spec.package = "com.driver.slow";
+  spec.category = "Tools";
+  spec.ad_sdk = true;
+  support::Rng rng(19);
+  const auto app = appgen::build_app(spec, rng);
+
+  core::PipelineOptions options;
+  options.max_app_wall_ms = 1.0;  // every attempt blows this budget
+  options.retry_on_crash = true;
+  const core::DyDroid pipeline(std::move(options));
+
+  std::vector<AppJob> jobs(1);
+  jobs[0].apk = app.apk;
+  jobs[0].scenario = [&app](os::Device& device) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    appgen::apply_scenario(app.scenario, device);
+  };
+
+  RunnerConfig config;
+  config.jobs = 1;
+  const auto result = CorpusRunner(pipeline, config).run(jobs);
+  const auto& outcome = result.outcomes[0];
+  EXPECT_TRUE(outcome.timed_out);
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_TRUE(outcome.quarantined);
+  EXPECT_GE(outcome.wall_ms, 20.0);  // both attempts' wall time summed
+  // The app keeps its Table II bucket even while quarantined.
+  EXPECT_EQ(outcome.report.status, core::DynamicStatus::kExercised);
+  EXPECT_EQ(result.stats.timed_out, 1u);
+  EXPECT_EQ(result.stats.retried, 1u);
+  EXPECT_EQ(result.stats.quarantined, 1u);
+}
+
+TEST(CorpusRunner, TransientInjectedCrashRetriesCleanlyAndRecovers) {
+  appgen::AppSpec spec;
+  spec.package = "com.driver.flaky";
+  spec.category = "Tools";
+  spec.ad_sdk = true;
+  support::Rng rng(23);
+  const auto app = appgen::build_app(spec, rng);
+  const std::function<void(os::Device&)> scenario =
+      [&app](os::Device& device) {
+        appgen::apply_scenario(app.scenario, device);
+      };
+
+  const auto plan_result = support::FaultPlan::parse("device.install=p:0.5");
+  ASSERT_TRUE(plan_result.ok()) << plan_result.error();
+  const auto& plan = plan_result.value();
+
+  core::PipelineOptions options;
+  options.faults = &plan;
+  options.retry_on_crash = true;
+  const core::DyDroid pipeline(std::move(options));
+
+  // Hunt a seed whose attempt-0 fault session crashes the app while the
+  // attempt-salted retry session clears — a deterministic transient.
+  std::optional<std::uint64_t> flaky_seed;
+  for (std::uint64_t seed = 0; seed < 64 && !flaky_seed; ++seed) {
+    core::AnalysisRequest first;
+    first.apk_bytes = app.apk;
+    first.seed = seed;
+    first.scenario_setup = &scenario;
+    first.attempt = 0;
+    core::AnalysisRequest second = first;
+    second.attempt = 1;
+    if (pipeline.analyze(first).status == core::DynamicStatus::kCrash &&
+        pipeline.analyze(second).status == core::DynamicStatus::kExercised) {
+      flaky_seed = seed;
+    }
+  }
+  ASSERT_TRUE(flaky_seed.has_value())
+      << "no seed in [0,64) yields a transient install fault";
+
+  std::vector<AppJob> jobs(1);
+  jobs[0].apk = app.apk;
+  jobs[0].scenario = scenario;
+  jobs[0].seed = *flaky_seed;
+
+  RunnerConfig config;
+  config.jobs = 1;
+  const auto result = CorpusRunner(pipeline, config).run(jobs);
+  const auto& outcome = result.outcomes[0];
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_FALSE(outcome.quarantined);
+  EXPECT_EQ(outcome.report.status, core::DynamicStatus::kExercised);
+  EXPECT_EQ(result.stats.retried, 1u);
+  EXPECT_EQ(result.stats.quarantined, 0u);
+  EXPECT_EQ(result.stats.crashed, 0u);
+  EXPECT_EQ(result.stats.exercised, 1u);
 }
 
 // ---------------------------------------------------------------------------

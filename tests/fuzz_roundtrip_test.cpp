@@ -1,0 +1,126 @@
+// Fuzz round-trip tests for the binary deserializers: every structurally
+// mutated container (bit-flip bursts, truncations, garbage extensions,
+// length-field lies — appgen::mutate_bytes) must either parse or raise
+// support::ParseError. Anything else — a crash, UB, an unexpected
+// exception type — fails the test (and trips the sanitizer configs, see
+// tools/run_sanitizer_matrix.sh).
+#include <gtest/gtest.h>
+
+#include "apk/apk.hpp"
+#include "appgen/faulty.hpp"
+#include "appgen/generator.hpp"
+#include "dex/dexfile.hpp"
+#include "nativebin/native_library.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace dydroid {
+namespace {
+
+constexpr int kIterations = 400;
+
+/// A representative app: dex + native DCL payloads, assets, a manifest.
+appgen::GeneratedApp sample_app() {
+  appgen::AppSpec spec;
+  spec.package = "com.example.fuzzhost";
+  spec.category = "TOOLS";
+  spec.own_dex_dcl = true;
+  spec.own_native_dcl = true;
+  support::Rng rng(0xF0220001);
+  return appgen::build_app(spec, rng);
+}
+
+support::Bytes sample_dex_bytes() {
+  const auto app = sample_app();
+  const auto pkg = apk::ApkFile::deserialize(app.apk);
+  const auto* dex = pkg.get(apk::kClassesDexEntry);
+  EXPECT_NE(dex, nullptr);
+  return *dex;
+}
+
+TEST(FuzzRoundTripTest, ValidApkRoundTripsByteIdentically) {
+  const auto app = sample_app();
+  const auto pkg = apk::ApkFile::deserialize(app.apk);
+  const auto bytes = pkg.serialize();
+  EXPECT_EQ(bytes, app.apk);
+  EXPECT_EQ(apk::ApkFile::deserialize(bytes).serialize(), bytes);
+}
+
+TEST(FuzzRoundTripTest, MutatedApkParsesOrRaisesParseError) {
+  const auto app = sample_app();
+  support::Rng rng(0xF0220002);
+  int parsed = 0;
+  int rejected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    const auto mutated = appgen::mutate_bytes(app.apk, rng);
+    for (const auto mode :
+         {apk::ParseMode::kLenient, apk::ParseMode::kStrict}) {
+      try {
+        const auto pkg = apk::ApkFile::deserialize(mutated, mode);
+        // Accepted inputs must re-serialize into a stable fixed point.
+        const auto bytes = pkg.serialize();
+        ASSERT_EQ(apk::ApkFile::deserialize(bytes, mode).serialize(), bytes);
+        ++parsed;
+      } catch (const support::ParseError&) {
+        ++rejected;  // the only acceptable failure mode
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0) << "mutations never exercised a rejection path";
+  EXPECT_GT(parsed, 0) << "mutations never left a parseable container";
+}
+
+TEST(FuzzRoundTripTest, MutatedDexParsesOrRaisesParseError) {
+  const auto dex_bytes = sample_dex_bytes();
+  ASSERT_NO_THROW({ (void)dex::DexFile::deserialize(dex_bytes); });
+  support::Rng rng(0xF0220003);
+  int rejected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    const auto mutated = appgen::mutate_bytes(dex_bytes, rng);
+    try {
+      (void)dex::DexFile::deserialize(mutated);
+    } catch (const support::ParseError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0) << "mutations never exercised a rejection path";
+}
+
+TEST(FuzzRoundTripTest, MutatedNativeLibraryParsesOrRaisesParseError) {
+  // Harvest a native payload from the generated app's entries.
+  const auto app = sample_app();
+  const auto pkg = apk::ApkFile::deserialize(app.apk);
+  support::Bytes lib_bytes;
+  for (const auto& name : pkg.entry_names()) {
+    if (name.ends_with(".so")) {
+      lib_bytes = *pkg.get(name);
+      break;
+    }
+  }
+  ASSERT_FALSE(lib_bytes.empty()) << "sample app carries no .so entry";
+  ASSERT_NO_THROW({ (void)nativebin::NativeLibrary::deserialize(lib_bytes); });
+  support::Rng rng(0xF0220004);
+  int rejected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    const auto mutated = appgen::mutate_bytes(lib_bytes, rng);
+    try {
+      (void)nativebin::NativeLibrary::deserialize(mutated);
+    } catch (const support::ParseError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0) << "mutations never exercised a rejection path";
+}
+
+TEST(FuzzRoundTripTest, MutationsAreSeedDeterministic) {
+  const auto app = sample_app();
+  support::Rng a(0xF0220005);
+  support::Rng b(0xF0220005);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(appgen::mutate_bytes(app.apk, a),
+              appgen::mutate_bytes(app.apk, b));
+  }
+}
+
+}  // namespace
+}  // namespace dydroid

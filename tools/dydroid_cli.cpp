@@ -16,8 +16,16 @@
 //   dydroid pack <in.sapk> <out.sapk> [--trap]
 //       Apply the DEX-encryption packer.
 //
-//   dydroid survey [--scale S] [--seed N]
+//   dydroid survey [--scale S] [--seed N] [--faults PLAN] [--budget MS]
+//               [--retry]
 //       Generate a corpus and print the Section-V style summary.
+//
+//   dydroid faultcheck [--scale S] [--jobs 1,2,8] [--fraction F]
+//               [--no-corruption]
+//       Run the golden-corpus differential fault matrix (docs/FAULTS.md):
+//       every injection site armed in turn must move each app only into
+//       its predicted Table II bucket, byte-identical across worker
+//       counts. Exit status 1 if any prediction fails.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,8 +39,10 @@
 #include "core/report_json.hpp"
 #include "core/unpacker.hpp"
 #include "driver/corpus_runner.hpp"
+#include "driver/fault_matrix.hpp"
 #include "malware/families.hpp"
 #include "obfuscation/packer.hpp"
+#include "support/fault.hpp"
 #include "support/log.hpp"
 
 using namespace dydroid;
@@ -149,6 +159,17 @@ int cmd_analyze(const Args& args) {
   }
   const auto bytes = read_file(args.positional[0]);
   core::PipelineOptions options;
+  support::FaultPlan faults;  // must outlive the pipeline
+  if (args.flag("faults")) {
+    auto parsed = support::FaultPlan::parse(args.value("faults", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "analyze: bad --faults plan: %s\n",
+                   parsed.error().c_str());
+      return 2;
+    }
+    faults = std::move(parsed.value());
+    options.faults = &faults;
+  }
   std::vector<std::pair<std::string, support::Bytes>> hosted;
   for (const auto& [url, file] : args.hosts) {
     hosted.emplace_back(url, read_file(file));
@@ -254,6 +275,21 @@ int cmd_survey(const Args& args) {
   // (worker count from --jobs, DYDROID_JOBS or hardware concurrency).
   core::PipelineOptions options;
   options.detector = &detector;
+  support::FaultPlan faults;  // must outlive the pipeline
+  if (args.flag("faults")) {
+    auto parsed = support::FaultPlan::parse(args.value("faults", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "survey: bad --faults plan: %s\n",
+                   parsed.error().c_str());
+      return 2;
+    }
+    faults = std::move(parsed.value());
+    options.faults = &faults;
+  }
+  if (args.flag("budget")) {
+    options.max_app_wall_ms = std::stod(args.value("budget", "0"));
+  }
+  options.retry_on_crash = args.flag("retry");
   const core::DyDroid pipeline(std::move(options));
   driver::RunnerConfig runner_config;
   runner_config.seed_base = 1;  // app N runs with seed 1 + N
@@ -266,6 +302,16 @@ int cmd_survey(const Args& args) {
       "%zu malware carriers, %zu vulnerable\n",
       stats.apps, stats.intercepted, stats.remote_loaders,
       stats.malware_carriers, stats.vulnerable);
+  std::printf(
+      "  outcomes: %zu not-run, %zu rewriting-failure, %zu no-activity, "
+      "%zu crashed, %zu exercised\n",
+      stats.not_run, stats.rewriting_failure, stats.no_activity,
+      stats.crashed, stats.exercised);
+  if (stats.timed_out + stats.retried + stats.quarantined > 0 ||
+      args.flag("faults") || args.flag("budget") || args.flag("retry")) {
+    std::printf("  fault policy: %zu timed out, %zu retried, %zu quarantined\n",
+                stats.timed_out, stats.retried, stats.quarantined);
+  }
   std::printf("  %.1f ms on %zu worker(s), %.0f apps/s\n", result.wall_ms,
               result.threads,
               result.wall_ms > 0
@@ -274,19 +320,51 @@ int cmd_survey(const Args& args) {
   return 0;
 }
 
+int cmd_faultcheck(const Args& args) {
+  driver::FaultCheckOptions options;
+  options.scale = std::stod(args.value("scale", "0.0035"));
+  options.corpus_seed = std::stoull(args.value("seed", "20161101"));
+  options.corruption_fraction = std::stod(args.value("fraction", "0.35"));
+  options.check_corruption = !args.flag("no-corruption");
+  if (args.flag("jobs")) {
+    options.worker_counts.clear();
+    const auto list = args.value("jobs", "");
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      auto comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      const auto tok = list.substr(pos, comma - pos);
+      if (!tok.empty()) options.worker_counts.push_back(std::stoull(tok));
+      pos = comma + 1;
+    }
+    if (options.worker_counts.empty()) {
+      std::fprintf(stderr, "faultcheck: --jobs needs a comma list, e.g. 1,2,8\n");
+      return 2;
+    }
+  }
+  const auto report = driver::run_fault_matrix(options);
+  std::printf("%s", driver::format_fault_check(report).c_str());
+  return report.passed() ? 0 : 1;
+}
+
 void usage() {
-  std::fprintf(stderr,
-               "usage: dydroid <gen|analyze|disasm|pack|unpack|survey> ...\n"
-               "  gen <out.sapk> [--pkg P] [--ad] [--baidu] [--analytics]\n"
-               "      [--own-dex] [--native] [--malware swiss|adware|chathook]\n"
-               "      [--vuln dex-external|native-other] [--pack] [--lexical]\n"
-               "      [--reflection] [--seed N]\n"
-               "  analyze <app.sapk> [--seed N] [--host URL FILE]...\n"
-               "      [--companion FILE]\n"
-               "  disasm <app.sapk>\n"
-               "  pack <in.sapk> <out.sapk> [--trap]\n"
-               "  unpack <packed.sapk> <out.sapk> [--seed N]\n"
-               "  survey [--scale S] [--seed N] [--jobs J]\n");
+  std::fprintf(
+      stderr,
+      "usage: dydroid <gen|analyze|disasm|pack|unpack|survey|faultcheck> ...\n"
+      "  gen <out.sapk> [--pkg P] [--ad] [--baidu] [--analytics]\n"
+      "      [--own-dex] [--native] [--malware swiss|adware|chathook]\n"
+      "      [--vuln dex-external|native-other] [--pack] [--lexical]\n"
+      "      [--reflection] [--seed N]\n"
+      "  analyze <app.sapk> [--seed N] [--host URL FILE]...\n"
+      "      [--companion FILE] [--faults PLAN]\n"
+      "  disasm <app.sapk>\n"
+      "  pack <in.sapk> <out.sapk> [--trap]\n"
+      "  unpack <packed.sapk> <out.sapk> [--seed N]\n"
+      "  survey [--scale S] [--seed N] [--jobs J] [--faults PLAN]\n"
+      "      [--budget MS] [--retry]\n"
+      "  faultcheck [--scale S] [--seed N] [--jobs 1,2,8] [--fraction F]\n"
+      "      [--no-corruption]\n"
+      "PLAN grammar (docs/FAULTS.md): site=always|never|nth:<N>|p:<P>,...\n");
 }
 
 }  // namespace
@@ -299,7 +377,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const std::set<std::string> value_opts = {
       "pkg", "category", "seed", "malware", "vuln", "scale", "companion",
-      "jobs"};
+      "jobs", "faults", "budget", "fraction"};
   const auto args = parse(argc, argv, 2, value_opts);
   try {
     if (cmd == "gen") return cmd_gen(args);
@@ -308,6 +386,7 @@ int main(int argc, char** argv) {
     if (cmd == "pack") return cmd_pack(args);
     if (cmd == "unpack") return cmd_unpack(args);
     if (cmd == "survey") return cmd_survey(args);
+    if (cmd == "faultcheck") return cmd_faultcheck(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dydroid: %s\n", e.what());
     return 1;

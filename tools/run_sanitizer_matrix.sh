@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Build and run the test suite under each sanitizer configuration.
+#
+#   tools/run_sanitizer_matrix.sh [asan|ubsan|tsan ...] [-- <ctest args>]
+#
+# With no arguments all three configs run. Each config builds into its own
+# tree (build-asan / build-ubsan / build-tsan) so incremental re-runs are
+# cheap. Extra arguments after `--` are forwarded to ctest — e.g.
+#
+#   tools/run_sanitizer_matrix.sh asan -- -L tier1
+#
+# runs only the fast tier-1 suite under AddressSanitizer.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+configs=()
+ctest_args=()
+parsing_ctest=false
+for arg in "$@"; do
+  if $parsing_ctest; then
+    ctest_args+=("$arg")
+  elif [[ "$arg" == "--" ]]; then
+    parsing_ctest=true
+  else
+    configs+=("$arg")
+  fi
+done
+if [[ ${#configs[@]} -eq 0 ]]; then
+  configs=(asan ubsan tsan)
+fi
+
+flag_for() {
+  case "$1" in
+    asan) echo "-DDYDROID_ASAN=ON" ;;
+    ubsan) echo "-DDYDROID_UBSAN=ON" ;;
+    tsan) echo "-DDYDROID_TSAN=ON" ;;
+    *)
+      echo "unknown sanitizer config: $1 (want asan|ubsan|tsan)" >&2
+      exit 2
+      ;;
+  esac
+}
+
+failed=()
+for config in "${configs[@]}"; do
+  flag="$(flag_for "$config")"
+  build="$repo/build-$config"
+  echo "==== [$config] configure + build ($flag) ===="
+  cmake -S "$repo" -B "$build" "$flag" >/dev/null
+  cmake --build "$build" -j "$jobs"
+  echo "==== [$config] ctest ===="
+  if ! ctest --test-dir "$build" --output-on-failure -j "$jobs" \
+      "${ctest_args[@]+"${ctest_args[@]}"}"; then
+    failed+=("$config")
+  fi
+done
+
+if [[ ${#failed[@]} -gt 0 ]]; then
+  echo "sanitizer matrix FAILED: ${failed[*]}" >&2
+  exit 1
+fi
+echo "sanitizer matrix passed: ${configs[*]}"
