@@ -31,6 +31,21 @@ const support::FaultPlan* faults_from_env() {
   return plan;
 }
 
+// Optional write-ahead journal for the bench corpus, from the
+// DYDROID_JOURNAL env var (docs/CHECKPOINT.md). Absent or empty -> "", and
+// the bench run stays byte-identical to a journal-free run. Set
+// DYDROID_RESUME=1 alongside it to replay completed outcomes from that
+// journal before running.
+std::string journal_from_env() {
+  const char* path = std::getenv("DYDROID_JOURNAL");
+  return (path == nullptr) ? std::string() : std::string(path);
+}
+
+bool resume_from_env() {
+  const char* flag = std::getenv("DYDROID_RESUME");
+  return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+}
+
 }  // namespace
 
 malware::DroidNative make_trained_detector(int samples_per_family) {
@@ -78,6 +93,9 @@ Measurement measure_corpus(const malware::DroidNative* detector,
   const core::DyDroid pipeline(std::move(options));
   driver::RunnerConfig runner_config;
   runner_config.seed_base = kCorpusSeedBase;
+  runner_config.journal_path = journal_from_env();
+  runner_config.resume =
+      !runner_config.journal_path.empty() && resume_from_env();
   const driver::CorpusRunner runner(pipeline, runner_config);
   auto result = runner.run(m.corpus);
 

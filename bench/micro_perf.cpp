@@ -7,7 +7,10 @@
 // 0.05) and the worker pool with DYDROID_JOBS.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <string>
 #include <thread>
 
 #include "analysis/decompiler.hpp"
@@ -223,6 +226,32 @@ void BM_CorpusThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusThroughput)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// Write-ahead journal overhead (docs/CHECKPOINT.md): the same corpus run
+// with journaling off (Arg 0) and on (Arg 1). The acceptance bar is <5%
+// added wall time with the fsync knob off — one buffered write(2) per app.
+void BM_JournalOverhead(benchmark::State& state) {
+  support::set_log_level(support::LogLevel::Error);
+  appgen::CorpusConfig config;
+  config.scale = 0.02;
+  const auto corpus = appgen::generate_corpus(config);
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  const bool journaled = state.range(0) != 0;
+  const std::string journal_path =
+      "bench_journal_overhead_" + std::to_string(::getpid()) + ".jrnl";
+  driver::RunnerConfig runner_config;
+  runner_config.jobs = 1;
+  if (journaled) runner_config.journal_path = journal_path;
+  const driver::CorpusRunner runner(pipeline, runner_config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(corpus));
+  }
+  if (journaled) std::remove(journal_path.c_str());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.apps.size()));
+  state.SetLabel(journaled ? "journal=on" : "journal=off");
+}
+BENCHMARK(BM_JournalOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// Serial-vs-parallel corpus comparison, written to BENCH_corpus.json:
 /// wall time and apps/sec with 1 worker and with DYDROID_JOBS/hardware
 /// workers, plus a byte-identity check over every per-app JSON report.
@@ -236,11 +265,38 @@ void emit_corpus_bench_json() {
 
   driver::RunnerConfig serial_config;
   serial_config.jobs = 1;
-  const auto serial = driver::CorpusRunner(pipeline, serial_config).run(corpus);
+  auto serial = driver::CorpusRunner(pipeline, serial_config).run(corpus);
 
   driver::RunnerConfig parallel_config;  // jobs = DYDROID_JOBS / hardware
   const auto parallel =
       driver::CorpusRunner(pipeline, parallel_config).run(corpus);
+
+  // Same serial run with the write-ahead journal on (docs/CHECKPOINT.md):
+  // the overhead budget is <5% wall time. A single A/B pair is hostage to
+  // scheduler noise on shared 1-vCPU runners, so interleave three runs per
+  // mode and compare the minima — the min is the run least disturbed by
+  // the neighbours, and the outcomes are deterministic either way.
+  const std::string journal_path =
+      "BENCH_corpus_" + std::to_string(::getpid()) + ".jrnl";
+  driver::RunnerConfig journal_config;
+  journal_config.jobs = 1;
+  journal_config.journal_path = journal_path;
+  auto journaled = driver::CorpusRunner(pipeline, journal_config).run(corpus);
+  std::remove(journal_path.c_str());
+  for (int rep = 1; rep < 3; ++rep) {
+    auto serial_rep = driver::CorpusRunner(pipeline, serial_config).run(corpus);
+    if (serial_rep.wall_ms < serial.wall_ms) serial = std::move(serial_rep);
+    auto journal_rep =
+        driver::CorpusRunner(pipeline, journal_config).run(corpus);
+    std::remove(journal_path.c_str());
+    if (journal_rep.wall_ms < journaled.wall_ms) {
+      journaled = std::move(journal_rep);
+    }
+  }
+  const double journal_overhead_pct =
+      serial.wall_ms > 0
+          ? 100.0 * (journaled.wall_ms - serial.wall_ms) / serial.wall_ms
+          : 0.0;
 
   bool identical = serial.outcomes.size() == parallel.outcomes.size();
   for (std::size_t i = 0; identical && i < serial.outcomes.size(); ++i) {
@@ -269,23 +325,26 @@ void emit_corpus_bench_json() {
                " \"apps_per_sec\": %.1f},\n"
                "  \"parallel\": {\"jobs\": %zu, \"wall_ms\": %.2f,"
                " \"apps_per_sec\": %.1f},\n"
+               "  \"journaled\": {\"jobs\": 1, \"wall_ms\": %.2f,"
+               " \"overhead_pct\": %.2f},\n"
                "  \"speedup\": %.3f,\n"
                "  \"reports_identical\": %s\n"
                "}\n",
                scale, corpus.apps.size(),
                static_cast<std::size_t>(std::thread::hardware_concurrency()),
                serial.wall_ms, serial_aps, parallel.threads, parallel.wall_ms,
-               parallel_aps,
+               parallel_aps, journaled.wall_ms, journal_overhead_pct,
                parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
                identical ? "true" : "false");
   std::fclose(f);
   std::printf(
       "\nBENCH_corpus.json: %zu apps, serial %.1f ms (%.0f apps/s), "
-      "parallel[%zu] %.1f ms (%.0f apps/s), speedup %.2fx, identical=%s\n",
+      "parallel[%zu] %.1f ms (%.0f apps/s), speedup %.2fx, identical=%s, "
+      "journal overhead %+.1f%%\n",
       corpus.apps.size(), serial.wall_ms, serial_aps, parallel.threads,
       parallel.wall_ms, parallel_aps,
       parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
-      identical ? "true" : "false");
+      identical ? "true" : "false", journal_overhead_pct);
 }
 
 }  // namespace

@@ -1,0 +1,31 @@
+// Canonical binary (de)serialization of core::AppReport — the payload the
+// write-ahead outcome journal persists per app (docs/CHECKPOINT.md).
+//
+// Guarantees:
+//   * Exact round-trip: deserialize(serialize(r)) reproduces every field,
+//     including intercepted binary *bytes* (the JSON report only summarizes
+//     them), so the JSON rendered from a replayed report is byte-identical
+//     to the live run's.
+//   * Defensive decode: a ByteReader over hostile bytes either yields a
+//     valid report or throws support::ParseError — enum values are
+//     range-checked, lengths are bounds-checked, trailing garbage is
+//     rejected by the callers that own the full payload. Never UB.
+//
+// The format is versioned (leading version byte written by the outcome
+// codec that wraps this one); integers are little-endian via
+// support::ByteWriter/ByteReader.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "support/bytes.hpp"
+
+namespace dydroid::core {
+
+/// Append the canonical encoding of `report` to `writer`.
+void serialize_report(support::ByteWriter& writer, const AppReport& report);
+
+/// Decode one report. Throws support::ParseError on truncation or any
+/// out-of-range enum/field.
+AppReport deserialize_report(support::ByteReader& reader);
+
+}  // namespace dydroid::core

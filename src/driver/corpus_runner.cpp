@@ -2,12 +2,27 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "appgen/generator.hpp"
+#include "driver/outcome_codec.hpp"
+#include "support/journal.hpp"
+#include "support/log.hpp"
 #include "support/stopwatch.hpp"
+#include "support/strings.hpp"
 
 namespace dydroid::driver {
+
+namespace {
+
+/// Salt for the driver-level fault session (journal.append / driver.kill
+/// sites): distinct from every per-app session seed, deterministic in the
+/// runner's seed base.
+constexpr std::uint64_t kDriverFaultSalt = 0xD21BE9u;
+
+}  // namespace
 
 void AggregateStats::absorb(const AppOutcome& outcome) {
   const auto& report = outcome.report;
@@ -75,7 +90,7 @@ std::size_t resolve_jobs(std::size_t requested) {
 }
 
 CorpusRunner::CorpusRunner(const core::DyDroid& pipeline, RunnerConfig config)
-    : pipeline_(&pipeline), config_(config) {}
+    : pipeline_(&pipeline), config_(std::move(config)) {}
 
 CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
   CorpusResult result;
@@ -84,19 +99,123 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
   result.outcomes.resize(jobs.size());
 
   const support::Stopwatch corpus_clock;
-  std::atomic<std::size_t> next{0};
-  std::vector<AggregateStats> worker_stats(result.threads);
-
   const core::PipelineOptions& options = pipeline_->options();
 
-  // One attempt: analyze with the app's seed, recording wall time on every
-  // path. The pipeline already converts stage failures into crash outcomes;
-  // this is the last-resort belt for anything else (bad_alloc, a scenario
-  // closure throwing before the stages run), so a worker thread can never
-  // be torn down — and a crashing app still gets its elapsed time recorded
-  // instead of wall_ms = 0.
+  /// The seed the app at `index` runs (and must have run) with.
+  const auto seed_of = [&](std::size_t index) {
+    return jobs[index].seed.value_or(seed_for_app(config_.seed_base, index));
+  };
+
+  // --- resume replay + write-ahead journal setup (docs/CHECKPOINT.md) ------
+  // `done[i]` marks outcomes restored from the journal; workers skip them.
+  std::vector<char> done(jobs.size(), 0);
+  std::optional<support::JournalWriter> journal;
+  std::optional<support::FaultSession> driver_faults;
+  std::mutex journal_mutex;  // serializes appends + the driver fault session
+
+  if (config_.resume && config_.journal_path.empty()) {
+    throw std::runtime_error("runner: resume requested without a journal path");
+  }
+  if (!config_.journal_path.empty()) {
+    if (config_.resume) {
+      auto read = support::read_journal(config_.journal_path);
+      if (!read.ok()) {
+        throw std::runtime_error("runner: resume failed: " + read.error());
+      }
+      if (read.value().torn()) {
+        support::log_warn(
+            "driver",
+            support::format("journal %s: recovered %zu records, dropped %zu "
+                            "torn/corrupt tail byte(s)",
+                            config_.journal_path.c_str(),
+                            read.value().records.size(),
+                            read.value().bytes_discarded));
+        // Chop the damaged tail off before reopening for append, so the
+        // records this run writes land after the last *intact* frame (an
+        // O_APPEND writer would otherwise bury them behind the garbage,
+        // unreachable to the next reader).
+        const support::Status truncated = support::truncate_journal(
+            config_.journal_path, read.value().bytes_recovered);
+        if (!truncated.ok()) {
+          throw std::runtime_error("runner: resume failed: " +
+                                   truncated.error());
+        }
+      }
+      for (const auto& record : read.value().records) {
+        DecodedOutcome decoded;
+        try {
+          decoded = decode_outcome(record);
+        } catch (const std::exception& e) {
+          // A framed record that passed its CRC but fails to decode means
+          // the journal does not belong to this build/corpus: fail loudly
+          // rather than silently re-running (and double-counting) apps.
+          throw std::runtime_error(
+              std::string("runner: resume failed: corrupt journal record: ") +
+              e.what());
+        }
+        if (decoded.index >= jobs.size()) {
+          throw std::runtime_error(support::format(
+              "runner: resume failed: journal record for app %zu but the "
+              "corpus has %zu apps (journal/corpus mismatch?)",
+              decoded.index, jobs.size()));
+        }
+        if (decoded.outcome.seed != seed_of(decoded.index)) {
+          throw std::runtime_error(support::format(
+              "runner: resume failed: app %zu was journaled with seed %llu "
+              "but this run derives seed %llu (different seed base or "
+              "corpus?)",
+              decoded.index,
+              static_cast<unsigned long long>(decoded.outcome.seed),
+              static_cast<unsigned long long>(seed_of(decoded.index))));
+        }
+        // Duplicate records resolve last-writer-wins: a record re-appended
+        // after an earlier resume supersedes the older one.
+        result.outcomes[decoded.index] = std::move(decoded.outcome);
+        done[decoded.index] = 1;
+      }
+    }
+    support::JournalWriterOptions journal_options;
+    journal_options.fsync_each_record = config_.journal_fsync;
+    journal_options.truncate = !config_.resume;
+    auto writer =
+        support::JournalWriter::open(config_.journal_path, journal_options);
+    if (!writer.ok()) throw std::runtime_error("runner: " + writer.error());
+    journal.emplace(std::move(writer).take());
+    // Arm the driver-level fault session (journal.append / driver.kill)
+    // from the pipeline's plan; per-app sites keep their per-app sessions.
+    if (options.faults != nullptr && !options.faults->empty()) {
+      driver_faults.emplace(
+          *options.faults,
+          support::fault_session_seed(config_.seed_base ^ kDriverFaultSalt, 0));
+    }
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> aborted{false};
+  std::string abort_message;  // written once, under journal_mutex
+
+  /// Graceful shutdown and abort checks, polled between apps only — an
+  /// in-flight app always finishes and is journaled.
+  const auto should_quit = [&] {
+    return aborted.load(std::memory_order_relaxed) ||
+           (config_.stop != nullptr &&
+            config_.stop->load(std::memory_order_relaxed));
+  };
+
+  // One attempt: analyze with the app's seed, recording wall time and the
+  // attempt count on every path. The pipeline already converts stage
+  // failures into crash outcomes; the catch blocks are the last-resort
+  // belt for anything else (bad_alloc, internal logic errors), so a worker
+  // thread can never be torn down — and a crashing app still gets its
+  // elapsed time recorded instead of wall_ms = 0.
   const auto run_attempt = [&](const AppJob& job, AppOutcome& outcome,
                                std::uint32_t attempt) {
+    // Record the attempt as it *starts*, not when the retry policy decides
+    // to schedule it: a journaled outcome must never claim an attempt that
+    // did not run (live stats and journal replay count `retried` from this
+    // field, so the two can never disagree).
+    outcome.attempts = attempt + 1;
+
     core::AnalysisRequest request;
     request.apk_bytes = job.apk;
     request.seed = outcome.seed;
@@ -124,30 +243,97 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
            outcome.report.status == core::DynamicStatus::kCrash;
   };
 
-  // Each worker claims the next unprocessed index, analyzes it with its
-  // index-derived seed and writes into that index's pre-sized outcome
-  // slot — disjoint writes, worker-local tallies, no locks on the hot path.
-  const auto worker = [&](std::size_t worker_id) {
-    AggregateStats& local = worker_stats[worker_id];
-    for (;;) {
-      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= jobs.size()) break;
-      const AppJob& job = jobs[index];
-      AppOutcome& outcome = result.outcomes[index];
-      outcome.seed = job.seed.value_or(seed_for_app(config_.seed_base, index));
-
-      // Timeout + single-retry-then-quarantine policy (docs/FAULTS.md):
-      // a crashed or over-budget app gets exactly one re-run (the retry's
-      // fault session is salted by the attempt, so transient injected
-      // faults clear deterministically); if the retry fails too, the app
-      // is quarantined — its final report keeps its Table II bucket.
+  /// Full per-app policy: timeout + single-retry-then-quarantine
+  /// (docs/FAULTS.md), wrapped in the escaping-exception belt so that an
+  /// exception leaking out of the attempt machinery itself (e.g. an
+  /// allocation failure while forming a crash report) still resolves into
+  /// a consistent outcome — attempts ≥ 1, wall time recorded, timed_out
+  /// derived by the same budget rule — instead of terminating the driver.
+  const auto analyze_app = [&](const AppJob& job, AppOutcome& outcome,
+                               std::size_t index) {
+    outcome.seed = seed_of(index);
+    const support::Stopwatch total_clock;
+    try {
       bool failed = run_attempt(job, outcome, 0);
       if (failed && options.retry_on_crash) {
-        outcome.attempts = 2;
+        // The retry's fault session is salted by the attempt, so transient
+        // injected faults clear deterministically; if the retry fails too,
+        // the app is quarantined — its final report keeps its Table II
+        // bucket.
         failed = run_attempt(job, outcome, 1);
         outcome.quarantined = failed;
       }
-      local.absorb(outcome);
+    } catch (const std::exception& e) {
+      outcome.report = core::AppReport{};
+      outcome.report.status = core::DynamicStatus::kCrash;
+      outcome.report.crash_message =
+          std::string("runner: escaped attempt machinery: ") + e.what();
+      if (outcome.attempts == 0) outcome.attempts = 1;
+      outcome.wall_ms = total_clock.elapsed_ms();
+      if (options.max_app_wall_ms > 0.0 &&
+          outcome.wall_ms > options.max_app_wall_ms) {
+        outcome.timed_out = true;
+      }
+    } catch (...) {
+      outcome.report = core::AppReport{};
+      outcome.report.status = core::DynamicStatus::kCrash;
+      outcome.report.crash_message = "runner: escaped attempt machinery";
+      if (outcome.attempts == 0) outcome.attempts = 1;
+      outcome.wall_ms = total_clock.elapsed_ms();
+      if (options.max_app_wall_ms > 0.0 &&
+          outcome.wall_ms > options.max_app_wall_ms) {
+        outcome.timed_out = true;
+      }
+    }
+    outcome.completed = true;
+  };
+
+  /// Write-ahead append of one finished outcome. Returns false when the
+  /// run must abort (failed append or injected driver kill).
+  const auto journal_outcome = [&](std::size_t index,
+                                   const AppOutcome& outcome) {
+    // One long-lived encode buffer per worker thread: capacity sticks
+    // around after the first few appends, so encoding stops allocating.
+    thread_local support::ByteWriter encoder;
+    encoder.clear();
+    encode_outcome_into(index, outcome, encoder);
+    const support::Bytes& payload = encoder.data();
+    const std::lock_guard<std::mutex> lock(journal_mutex);
+    if (aborted.load(std::memory_order_relaxed)) return false;
+    // Install the driver fault session (if armed) so the journal.append
+    // site inside JournalWriter::append and the driver.kill checked
+    // boundary below draw from the same deterministic hit stream.
+    std::optional<support::FaultScope> scope;
+    if (driver_faults.has_value()) scope.emplace(&*driver_faults);
+    const support::Status appended = journal->append(payload);
+    if (!appended.ok()) {
+      abort_message = appended.error();
+      aborted.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    if (support::fault_fire(support::FaultSite::kDriverKill)) {
+      abort_message = support::fault_message(support::FaultSite::kDriverKill) +
+                      support::format(" after %zu journal append(s)",
+                                      journal->appended());
+      aborted.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  };
+
+  // Each worker claims the next unprocessed index, analyzes it with its
+  // index-derived seed and writes into that index's pre-sized outcome
+  // slot — disjoint writes, no locks on the hot path (the journal mutex is
+  // only ever taken when journaling is enabled).
+  const auto worker = [&](std::size_t) {
+    for (;;) {
+      if (should_quit()) break;
+      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= jobs.size()) break;
+      if (done[index]) continue;  // replayed from the resume journal
+      AppOutcome& outcome = result.outcomes[index];
+      analyze_app(jobs[index], outcome, index);
+      if (journal.has_value() && !journal_outcome(index, outcome)) break;
     }
   };
 
@@ -162,7 +348,35 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
     pool.clear();  // join
   }
 
-  for (const auto& local : worker_stats) result.stats.merge(local);
+  // Reduce the stats once, in corpus order: deterministic counts *and*
+  // deterministic floating-point sums, independent of worker count and of
+  // which outcomes were replayed vs. analyzed.
+  for (const auto& outcome : result.outcomes) {
+    if (!outcome.completed) continue;
+    result.stats.absorb(outcome);
+    if (outcome.replayed) {
+      ++result.replayed;
+    } else {
+      ++result.analyzed;
+    }
+  }
+
+  // Seal the journal before reporting the run's fate: whatever happens
+  // next (return or throw), the file on disk is complete and resumable.
+  std::size_t appended_by_this_run = 0;
+  if (journal.has_value()) {
+    appended_by_this_run = journal->appended();
+    const support::Status sealed = journal->seal();
+    if (!sealed.ok()) support::log_warn("driver", sealed.error());
+    journal.reset();
+  }
+
+  if (aborted.load(std::memory_order_relaxed)) {
+    throw RunAborted("runner: run aborted mid-corpus: " + abort_message,
+                     appended_by_this_run);
+  }
+
+  result.interrupted = result.completed() < jobs.size();
   result.wall_ms = corpus_clock.elapsed_ms();
   return result;
 }

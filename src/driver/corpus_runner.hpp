@@ -10,14 +10,24 @@
 //     table printer iterates exactly as the serial loop did.
 //   * Isolation — a stage failure (or stray exception) in one app becomes
 //     that app's crash outcome; it never aborts the batch.
-//   * Lock-free hot path — workers write to pre-sized outcome slots and
-//     accumulate worker-local AggregateStats, merged once at the end.
+//   * Lock-free hot path — workers write to pre-sized outcome slots;
+//     AggregateStats are reduced once, in corpus order, after the pool
+//     joins (order-deterministic, including the floating-point sums).
+//   * Crash safety (docs/CHECKPOINT.md) — with a journal configured, every
+//     finished outcome is appended to a CRC-framed write-ahead log before
+//     the run advances; a killed run resumes by replaying the journal and
+//     re-running only the missing apps, reproducing the uninterrupted
+//     run's reports byte-for-byte. With no journal configured the hot path
+//     is untouched (a single pointer check per app).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "appgen/corpus.hpp"
@@ -62,6 +72,12 @@ struct AppOutcome {
   /// The final attempt still crashed/timed out under retry_on_crash; the
   /// app is excluded from trust but keeps its Table II bucket.
   bool quarantined = false;
+  /// The slot holds a real outcome (analyzed or replayed). False only in
+  /// the partial results of an interrupted/aborted run. Not journaled.
+  bool completed = false;
+  /// The outcome was restored from a resume journal instead of analyzed
+  /// by this process. Not journaled.
+  bool replayed = false;
 };
 
 /// Corpus-level tallies. Workers each reduce into a private instance on the
@@ -103,6 +119,14 @@ struct CorpusResult {
   AggregateStats stats;
   double wall_ms = 0.0;     // whole-corpus wall time
   std::size_t threads = 0;  // worker count actually used
+  // --- crash-safe run bookkeeping (docs/CHECKPOINT.md) ---------------------
+  std::size_t analyzed = 0;  // outcomes produced by this process
+  std::size_t replayed = 0;  // outcomes restored from the resume journal
+  /// A graceful stop (RunnerConfig::stop) ended the run before every app
+  /// completed; in-flight apps finished and were journaled.
+  bool interrupted = false;
+
+  [[nodiscard]] std::size_t completed() const { return analyzed + replayed; }
 };
 
 struct RunnerConfig {
@@ -110,6 +134,39 @@ struct RunnerConfig {
   std::size_t jobs = 0;
   /// Base for the index-derived per-app seeds.
   std::uint64_t seed_base = kDefaultSeedBase;
+
+  // --- crash-safe journaling (docs/CHECKPOINT.md) --------------------------
+  /// Non-empty enables the write-ahead outcome journal: every finished app
+  /// is appended (one CRC-framed record) before the run advances. Empty
+  /// (the default) costs nothing on the hot path.
+  std::string journal_path;
+  /// Replay completed outcomes from `journal_path` before running: their
+  /// apps are skipped, their stats re-merged, and new outcomes append to
+  /// the same journal. Requires a non-empty journal_path.
+  bool resume = false;
+  /// fsync the journal after every record (power-loss durability); off by
+  /// default — the journal is always fsync'd when sealed.
+  bool journal_fsync = false;
+  /// Graceful-shutdown flag (e.g. set by a SIGINT/SIGTERM handler): when
+  /// it becomes true, workers finish their in-flight apps, the journal is
+  /// sealed, and run() returns a partial result with interrupted=true.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// Thrown by CorpusRunner::run when the run itself dies mid-corpus: a
+/// journal append failed (including an injected FaultSite::kJournalAppend
+/// torn write) or an injected FaultSite::kDriverKill fired at the checked
+/// boundary after an append. The journal is sealed before throwing, so the
+/// run is resumable with RunnerConfig::resume.
+class RunAborted : public std::runtime_error {
+ public:
+  RunAborted(std::string message, std::size_t journaled)
+      : std::runtime_error(std::move(message)), journaled_(journaled) {}
+  /// Records appended to the journal by this process before the abort.
+  [[nodiscard]] std::size_t journaled() const { return journaled_; }
+
+ private:
+  std::size_t journaled_ = 0;
 };
 
 /// Resolve a requested worker count: explicit > DYDROID_JOBS > hardware.

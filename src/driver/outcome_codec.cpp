@@ -1,0 +1,61 @@
+#include "driver/outcome_codec.hpp"
+
+#include <bit>
+
+#include "core/report_codec.hpp"
+#include "support/error.hpp"
+
+namespace dydroid::driver {
+
+using support::ByteReader;
+using support::ByteWriter;
+using support::ParseError;
+
+void encode_outcome_into(std::size_t app_index, const AppOutcome& outcome,
+                         support::ByteWriter& w) {
+  w.u8(kOutcomeCodecVersion);
+  w.u64(static_cast<std::uint64_t>(app_index));
+  w.u64(outcome.seed);
+  w.u64(std::bit_cast<std::uint64_t>(outcome.wall_ms));
+  w.u32(outcome.attempts);
+  std::uint8_t flags = 0;
+  if (outcome.timed_out) flags |= 1u;
+  if (outcome.quarantined) flags |= 2u;
+  w.u8(flags);
+  core::serialize_report(w, outcome.report);
+}
+
+support::Bytes encode_outcome(std::size_t app_index,
+                              const AppOutcome& outcome) {
+  ByteWriter w;
+  w.reserve(512);  // typical encoded outcome is a few hundred bytes
+  encode_outcome_into(app_index, outcome, w);
+  return w.take();
+}
+
+DecodedOutcome decode_outcome(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const std::uint8_t version = r.u8();
+  if (version != kOutcomeCodecVersion) {
+    throw ParseError("outcome codec: unsupported version " +
+                     std::to_string(version));
+  }
+  DecodedOutcome decoded;
+  decoded.index = static_cast<std::size_t>(r.u64());
+  decoded.outcome.seed = r.u64();
+  decoded.outcome.wall_ms = std::bit_cast<double>(r.u64());
+  decoded.outcome.attempts = r.u32();
+  const std::uint8_t flags = r.u8();
+  if (flags > 3) throw ParseError("outcome codec: bad flags");
+  decoded.outcome.timed_out = (flags & 1u) != 0;
+  decoded.outcome.quarantined = (flags & 2u) != 0;
+  decoded.outcome.report = core::deserialize_report(r);
+  if (!r.at_end()) {
+    throw ParseError("outcome codec: trailing bytes after report");
+  }
+  decoded.outcome.completed = true;
+  decoded.outcome.replayed = true;
+  return decoded;
+}
+
+}  // namespace dydroid::driver

@@ -1,0 +1,42 @@
+// Journal payload codec for driver::AppOutcome (docs/CHECKPOINT.md).
+//
+// One journal record = one finished app: the corpus index it belongs to,
+// the driver-level bookkeeping the AggregateStats reduction consumes
+// (seed, wall time, attempts, timeout/quarantine flags) and the full
+// canonical AppReport (core/report_codec.hpp). Replaying a record must be
+// indistinguishable from having run the app: the JSON report and every
+// absorbed stat agree byte-for-byte with the live outcome.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "driver/corpus_runner.hpp"
+#include "support/bytes.hpp"
+
+namespace dydroid::driver {
+
+/// Journal payload format version (first byte of every record payload).
+inline constexpr std::uint8_t kOutcomeCodecVersion = 1;
+
+/// Encode one finished outcome as a journal record payload.
+[[nodiscard]] support::Bytes encode_outcome(std::size_t app_index,
+                                            const AppOutcome& outcome);
+
+/// Same encoding, appended into a caller-provided writer (call clear()
+/// first to start a fresh record). Lets the journal hot path reuse one
+/// buffer across thousands of appends instead of allocating per record.
+void encode_outcome_into(std::size_t app_index, const AppOutcome& outcome,
+                         support::ByteWriter& w);
+
+struct DecodedOutcome {
+  std::size_t index = 0;
+  AppOutcome outcome;
+};
+
+/// Decode a record payload. Throws support::ParseError on a version
+/// mismatch, truncation, out-of-range enum values or trailing bytes.
+[[nodiscard]] DecodedOutcome decode_outcome(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace dydroid::driver

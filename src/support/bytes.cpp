@@ -2,21 +2,32 @@
 
 namespace dydroid::support {
 
+// The integer writers emit little-endian explicitly (host-endianness
+// independent) but append the whole value in one insert, not one
+// push_back per byte — multi-byte writes dominate the hot encode paths
+// (container serialization, the outcome journal).
+
 void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
 
 void ByteWriter::u16(std::uint16_t v) {
-  u8(static_cast<std::uint8_t>(v & 0xff));
-  u8(static_cast<std::uint8_t>(v >> 8));
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8)};
+  buf_.insert(buf_.end(), b, b + sizeof(b));
 }
 
 void ByteWriter::u32(std::uint32_t v) {
-  u16(static_cast<std::uint16_t>(v & 0xffff));
-  u16(static_cast<std::uint16_t>(v >> 16));
+  const std::uint8_t b[4] = {
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  buf_.insert(buf_.end(), b, b + sizeof(b));
 }
 
 void ByteWriter::u64(std::uint64_t v) {
-  u32(static_cast<std::uint32_t>(v & 0xffffffffu));
-  u32(static_cast<std::uint32_t>(v >> 32));
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  buf_.insert(buf_.end(), b, b + sizeof(b));
 }
 
 void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }

@@ -29,6 +29,11 @@ class ByteWriter {
   void blob(std::span<const std::uint8_t> data);
   /// Raw bytes, no length prefix.
   void raw(std::span<const std::uint8_t> data);
+  /// Pre-size the backing buffer (hot encode paths).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  /// Drop the contents but keep the capacity, so a long-lived writer
+  /// encodes record after record without re-allocating.
+  void clear() { buf_.clear(); }
 
   [[nodiscard]] const Bytes& data() const { return buf_; }
   [[nodiscard]] Bytes take() { return std::move(buf_); }

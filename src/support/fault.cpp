@@ -21,6 +21,8 @@ constexpr std::array<SiteName, kFaultSiteCount> kSiteNames = {{
     {FaultSite::kDeviceInstall, "device.install"},
     {FaultSite::kInterceptorIo, "interceptor.io"},
     {FaultSite::kNativeLoad, "native.load"},
+    {FaultSite::kJournalAppend, "journal.append"},
+    {FaultSite::kDriverKill, "driver.kill"},
 }};
 
 /// splitmix64-style avalanche; the decision function's mixing core.

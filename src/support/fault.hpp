@@ -48,9 +48,15 @@ enum class FaultSite : std::uint8_t {
   kDeviceInstall,    // PackageManager::install — install timeout
   kInterceptorIo,    // interceptor snapshot I/O — short write, snapshot lost
   kNativeLoad,       // nativebin::NativeLibrary::deserialize — bad .so
+  // Driver-level sites (docs/CHECKPOINT.md). These fire in the corpus
+  // driver's own fault session (not the per-app session), so kill/resume
+  // harnesses can abort the *run* deterministically after the N-th
+  // journal append.
+  kJournalAppend,    // support::JournalWriter::append — torn record write
+  kDriverKill,       // CorpusRunner checked boundary — driver dies mid-run
 };
 
-inline constexpr std::size_t kFaultSiteCount = 8;
+inline constexpr std::size_t kFaultSiteCount = 10;
 
 /// All sites, in enum order (the injection-site catalog).
 const std::array<FaultSite, kFaultSiteCount>& all_fault_sites();

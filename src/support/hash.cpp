@@ -8,16 +8,36 @@ namespace {
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+/// CRC-32 (zlib polynomial) lookup tables for slicing-by-8: tables[0] is
+/// the classic byte-at-a-time table; tables[j] advances a byte that sits
+/// j positions deeper in the stream. Produces bit-identical CRCs to the
+/// scalar loop while consuming 8 bytes per iteration — the checksum is on
+/// the journal append hot path (docs/CHECKPOINT.md) and in SimApk entry
+/// verification.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t j = 1; j < 8; ++j) {
+      c = tables[0][c & 0xff] ^ (c >> 8);
+      tables[j][i] = c;
+    }
+  }
+  return tables;
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
 }  // namespace
@@ -45,10 +65,22 @@ std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
 }
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
-  static const auto table = make_crc_table();
+  static const auto tables = make_crc_tables();
   std::uint32_t c = 0xffffffffu;
-  for (const auto b : data) {
-    c = table[(c ^ b) & 0xff] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    const std::uint32_t lo = c ^ load_le32(p);
+    const std::uint32_t hi = load_le32(p + 4);
+    c = tables[7][lo & 0xff] ^ tables[6][(lo >> 8) & 0xff] ^
+        tables[5][(lo >> 16) & 0xff] ^ tables[4][lo >> 24] ^
+        tables[3][hi & 0xff] ^ tables[2][(hi >> 8) & 0xff] ^
+        tables[1][(hi >> 16) & 0xff] ^ tables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = tables[0][(c ^ *p++) & 0xff] ^ (c >> 8);
   }
   return c ^ 0xffffffffu;
 }

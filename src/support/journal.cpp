@@ -1,0 +1,238 @@
+#include "support/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "support/fault.hpp"
+#include "support/hash.hpp"
+
+#if defined(_WIN32)
+#error "support::Journal requires a POSIX platform"
+#else
+#include <fcntl.h>
+#include <sys/uio.h>
+#include <unistd.h>
+#endif
+
+namespace dydroid::support {
+
+namespace {
+
+std::string errno_message(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+/// write(2) the whole buffer, retrying on EINTR / short writes.
+bool write_fully(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// writev(2) header + payload in one call, retrying on EINTR / short
+/// writes. The common case is a single syscall with zero copies; the
+/// fallback for a short write falls back to write_fully on the remainder.
+bool writev_fully(int fd, const std::uint8_t* header, std::size_t header_size,
+                  const std::uint8_t* payload, std::size_t payload_size) {
+  for (;;) {
+    iovec iov[2];
+    iov[0].iov_base = const_cast<std::uint8_t*>(header);
+    iov[0].iov_len = header_size;
+    iov[1].iov_base = const_cast<std::uint8_t*>(payload);
+    iov[1].iov_len = payload_size;
+    const ssize_t n = ::writev(fd, iov, 2);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    auto written = static_cast<std::size_t>(n);
+    if (written >= header_size + payload_size) return true;
+    // Short write (rare on regular files): finish the remainder.
+    if (written < header_size) {
+      header += written;
+      header_size -= written;
+      continue;
+    }
+    written -= header_size;
+    return write_fully(fd, payload + written, payload_size - written);
+  }
+}
+
+/// Little-endian frame header: u32 payload length, u32 CRC-32.
+void encode_frame_header(std::uint8_t (&header)[kJournalFrameOverhead],
+                         std::uint32_t len, std::uint32_t crc) {
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    header[4 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+}
+
+}  // namespace
+
+Result<JournalWriter> JournalWriter::open(const std::string& path,
+                                          JournalWriterOptions options) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (options.truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Result<JournalWriter>::failure(
+        errno_message("journal: cannot open", path));
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size == 0) {
+    // Fresh (or truncated) journal: stamp the magic.
+    if (!write_fully(fd, kJournalMagic.data(), kJournalMagic.size())) {
+      const std::string message =
+          errno_message("journal: cannot write header to", path);
+      ::close(fd);
+      return Result<JournalWriter>::failure(message);
+    }
+  } else {
+    // Existing journal (resume): verify the magic so we never append
+    // records to a file that is not a journal.
+    std::ifstream in(path, std::ios::binary);
+    std::array<char, kJournalMagic.size()> magic{};
+    in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
+    const bool good =
+        in.gcount() == static_cast<std::streamsize>(magic.size()) &&
+        std::memcmp(magic.data(), kJournalMagic.data(), magic.size()) == 0;
+    if (!good) {
+      ::close(fd);
+      return Result<JournalWriter>::failure(
+          "journal: " + path + " exists but is not a journal (bad magic)");
+    }
+  }
+  return JournalWriter(fd, path, options);
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      options_(other.options_),
+      appended_(other.appended_) {}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    (void)seal();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    appended_ = other.appended_;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() { (void)seal(); }
+
+Status JournalWriter::append(std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) {
+    return Status::failure("journal: append on sealed journal " + path_);
+  }
+  std::uint8_t header[kJournalFrameOverhead];
+  encode_frame_header(header, static_cast<std::uint32_t>(payload.size()),
+                      crc32(payload));
+
+  if (fault_fire(FaultSite::kJournalAppend)) {
+    // Simulate the write dying halfway: leave a genuinely torn frame on
+    // disk (the exact artifact of a crash mid-append) and fail loudly.
+    // The reader's torn-tail recovery drops it; the app simply re-runs on
+    // resume.
+    const std::size_t half = (sizeof(header) + payload.size()) / 2;
+    if (half <= sizeof(header)) {
+      (void)write_fully(fd_, header, half);
+    } else {
+      (void)writev_fully(fd_, header, sizeof(header), payload.data(),
+                         half - sizeof(header));
+    }
+    return Status::failure(fault_message(FaultSite::kJournalAppend));
+  }
+
+  // One writev, no frame buffer: with O_APPEND the kernel serializes the
+  // whole vector at the end of the file, so concurrent appenders (already
+  // mutex-guarded by the runner) and crash recovery both see whole or
+  // cleanly torn frames.
+  if (!writev_fully(fd_, header, sizeof(header), payload.data(),
+                    payload.size())) {
+    return Status::failure(errno_message("journal: append failed on", path_));
+  }
+  ++appended_;
+  if (options_.fsync_each_record) return sync();
+  return {};
+}
+
+Status JournalWriter::sync() {
+  if (fd_ < 0) return Status::failure("journal: sync on sealed journal");
+  if (::fsync(fd_) != 0) {
+    return Status::failure(errno_message("journal: fsync failed on", path_));
+  }
+  return {};
+}
+
+Status JournalWriter::seal() {
+  if (fd_ < 0) return {};
+  Status status;
+  if (::fsync(fd_) != 0) {
+    status = Status::failure(errno_message("journal: fsync failed on", path_));
+  }
+  ::close(fd_);
+  fd_ = -1;
+  return status;
+}
+
+Result<JournalReadResult> parse_journal(std::span<const std::uint8_t> data) {
+  JournalReadResult result;
+  if (data.empty()) return result;  // a fresh, never-written journal
+  if (data.size() < kJournalMagic.size() ||
+      std::memcmp(data.data(), kJournalMagic.data(), kJournalMagic.size()) !=
+          0) {
+    return Result<JournalReadResult>::failure(
+        "journal: bad magic (not a journal file)");
+  }
+  std::size_t pos = kJournalMagic.size();
+  result.bytes_recovered = pos;
+  while (pos < data.size()) {
+    // Frame header: len + crc. A short header is a torn tail.
+    if (data.size() - pos < kJournalFrameOverhead) break;
+    ByteReader header(data.subspan(pos, kJournalFrameOverhead));
+    const std::uint32_t len = header.u32();
+    const std::uint32_t crc = header.u32();
+    // A length running past EOF is either a torn payload or a bit-flipped
+    // length field; either way the frame chain is untrustworthy from here.
+    if (len > data.size() - pos - kJournalFrameOverhead) break;
+    const auto payload = data.subspan(pos + kJournalFrameOverhead, len);
+    if (crc32(payload) != crc) break;  // bit flip in len, crc or payload
+    result.records.emplace_back(payload.begin(), payload.end());
+    pos += kJournalFrameOverhead + len;
+    result.bytes_recovered = pos;
+  }
+  result.bytes_discarded = data.size() - result.bytes_recovered;
+  return result;
+}
+
+Status truncate_journal(const std::string& path, std::size_t bytes_recovered) {
+  if (::truncate(path.c_str(), static_cast<off_t>(bytes_recovered)) != 0) {
+    return Status::failure(errno_message("journal: cannot truncate", path));
+  }
+  return {};
+}
+
+Result<JournalReadResult> read_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Result<JournalReadResult>::failure("journal: cannot open " + path);
+  }
+  const Bytes data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return parse_journal(data);
+}
+
+}  // namespace dydroid::support

@@ -1,0 +1,130 @@
+// Write-ahead outcome journal (docs/CHECKPOINT.md).
+//
+// A multi-day measurement campaign dies in more ways than its apps do: the
+// driver gets OOM-killed, the machine reboots, the operator hits Ctrl-C.
+// The journal is the persistence layer that makes the *run* survivable the
+// way the retry/quarantine policy (docs/FAULTS.md) made the per-app
+// analysis survivable: every finished app outcome is appended as one
+// CRC32-framed record before the run advances, so a killed run resumes
+// from its last complete app instead of restarting the corpus.
+//
+// On-disk format (all integers little-endian):
+//
+//   file   := magic record*
+//   magic  := "DYJRNL01"                      (8 bytes)
+//   record := len:u32 crc:u32 payload[len]    (crc = CRC-32 of payload)
+//
+// Durability & recovery rules:
+//   * Appends are atomic at the frame level: one frame, one write(2) to an
+//     O_APPEND descriptor. A crash can only truncate the *tail* frame.
+//   * `fsync_each_record` trades throughput for the guarantee that an
+//     acknowledged append survives power loss (off by default: the kernel
+//     flushes on close/seal, which covers driver-process death).
+//   * The reader walks frames front to back and stops at the first
+//     inconsistency — short header, length past EOF, CRC mismatch — and
+//     returns every record before it. A torn or bit-flipped tail therefore
+//     costs at most the records at/after the damage, never the run.
+//   * Duplicate records for the same logical key are the *caller's*
+//     resume semantics (the corpus driver replays last-writer-wins).
+//
+// Thread-safety: JournalWriter is not internally synchronized; the corpus
+// driver serializes appends under its journal mutex. read_journal is a
+// pure function of the file contents.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace dydroid::support {
+
+/// File magic: "DYJRNL01" (bump the trailing digits on format changes).
+inline constexpr std::array<std::uint8_t, 8> kJournalMagic = {
+    'D', 'Y', 'J', 'R', 'N', 'L', '0', '1'};
+
+/// Bytes of framing per record (len + crc) on top of the payload.
+inline constexpr std::size_t kJournalFrameOverhead = 8;
+
+struct JournalWriterOptions {
+  /// fsync(2) after every appended record. Default off: record durability
+  /// then depends on the kernel page cache (survives driver death, not
+  /// power loss); seal()/close always flush.
+  bool fsync_each_record = false;
+  /// Start a fresh journal (truncate any existing file) instead of
+  /// appending to it. Resume runs append; fresh runs truncate.
+  bool truncate = false;
+};
+
+/// Append-only writer over an O_APPEND descriptor.
+class JournalWriter {
+ public:
+  /// Open (creating if absent) a journal for appending. A new or truncated
+  /// file gets the magic header; an existing file must carry it.
+  static Result<JournalWriter> open(const std::string& path,
+                                    JournalWriterOptions options = {});
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Append one record (single frame, single write). Honors the
+  /// FaultSite::kJournalAppend injection site: an injected append failure
+  /// leaves a deliberately torn half-frame on disk — exactly the artifact
+  /// a real crash mid-write leaves — and reports failure.
+  Status append(std::span<const std::uint8_t> payload);
+
+  /// fsync the descriptor.
+  Status sync();
+
+  /// Seal the journal: flush and close the descriptor. Idempotent; also
+  /// performed by the destructor.
+  Status seal();
+
+  /// Records successfully appended through this writer (excludes records
+  /// already in the file when opened in append mode).
+  [[nodiscard]] std::size_t appended() const { return appended_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+ private:
+  JournalWriter(int fd, std::string path, JournalWriterOptions options)
+      : fd_(fd), path_(std::move(path)), options_(options) {}
+
+  int fd_ = -1;
+  std::string path_;
+  JournalWriterOptions options_;
+  std::size_t appended_ = 0;
+};
+
+struct JournalReadResult {
+  std::vector<Bytes> records;
+  /// Length of the valid prefix (magic + intact frames).
+  std::size_t bytes_recovered = 0;
+  /// Trailing bytes dropped by torn-tail / bad-CRC recovery.
+  std::size_t bytes_discarded = 0;
+
+  /// True when recovery discarded a damaged tail.
+  [[nodiscard]] bool torn() const { return bytes_discarded > 0; }
+};
+
+/// Read every intact record. An empty file is a valid, empty journal; a
+/// missing file or a wrong magic is a loud failure (never a silent empty
+/// result); a torn or bit-flipped tail is recovered per the header rules.
+Result<JournalReadResult> read_journal(const std::string& path);
+
+/// Chop a damaged journal back to its valid prefix (the bytes_recovered a
+/// read reported) so a resume run can append after the last intact record
+/// instead of behind unreadable garbage.
+Status truncate_journal(const std::string& path, std::size_t bytes_recovered);
+
+/// Parse journal bytes already in memory (the reader core; exposed for the
+/// fuzz suite).
+Result<JournalReadResult> parse_journal(std::span<const std::uint8_t> data);
+
+}  // namespace dydroid::support

@@ -249,7 +249,12 @@ TEST(FaultMatrixTest, EverySiteShiftsOnlyItsPredictedBucket) {
   const auto report = driver::run_fault_matrix(options);
   EXPECT_TRUE(report.passed()) << driver::format_fault_check(report);
   ASSERT_GT(report.apps, 100u);
-  ASSERT_EQ(report.cases.size(), 12u);  // 8 sites + 4 corruption layers
+  // 8 per-app pipeline sites + 4 corruption layers. The driver-level
+  // crash-recovery sites (journal.append, driver.kill) are deliberately
+  // NOT part of the matrix — they abort the run instead of shifting a
+  // Table II bucket, and are exercised by tests/kill_resume_test.cpp
+  // (docs/CHECKPOINT.md).
+  ASSERT_EQ(report.cases.size(), 12u);
 
   const auto find = [&](const std::string& name) -> const auto& {
     for (const auto& c : report.cases) {

@@ -7,7 +7,10 @@
 //       <out>.hosted.<i> for any remote payloads the app needs).
 //
 //   dydroid analyze <app.sapk> [--seed N] [--host URL FILE]...
-//       Run the full pipeline on one app; print the JSON report.
+//               [--journal PATH | --resume PATH]
+//       Run the full pipeline on one app; print the JSON report. With a
+//       journal the finished outcome is appended to the write-ahead log;
+//       with --resume a journaled outcome is replayed instead of re-run.
 //
 //   dydroid disasm <app.sapk>
 //       Decompile and print the smali-like listing (fails on
@@ -17,8 +20,13 @@
 //       Apply the DEX-encryption packer.
 //
 //   dydroid survey [--scale S] [--seed N] [--faults PLAN] [--budget MS]
-//               [--retry]
-//       Generate a corpus and print the Section-V style summary.
+//               [--retry] [--journal PATH | --resume PATH] [--fsync]
+//       Generate a corpus and print the Section-V style summary. With a
+//       journal, every finished app is appended to a crash-safe
+//       write-ahead log (docs/CHECKPOINT.md); SIGINT/SIGTERM triggers a
+//       graceful stop (in-flight apps finish, the journal is sealed) and
+//       a killed or interrupted run resumes with --resume PATH,
+//       re-running only the missing apps.
 //
 //   dydroid faultcheck [--scale S] [--jobs 1,2,8] [--fraction F]
 //               [--no-corruption]
@@ -26,6 +34,8 @@
 //       every injection site armed in turn must move each app only into
 //       its predicted Table II bucket, byte-identical across worker
 //       counts. Exit status 1 if any prediction fails.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -97,6 +107,33 @@ Args parse(int argc, char** argv, int first,
     }
   }
   return args;
+}
+
+// --- crash-safe journaling plumbing (docs/CHECKPOINT.md) --------------------
+
+/// Set by the SIGINT/SIGTERM handler; polled by the corpus runner between
+/// apps, so an in-flight app always finishes and is journaled.
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true); }
+
+/// Fill the journal fields of a RunnerConfig from --journal / --resume /
+/// --fsync. Returns the journal path ("" = journaling off). With a journal
+/// active, SIGINT/SIGTERM switch from "kill the process" to "finish
+/// in-flight apps, seal the journal, report how to resume".
+std::string configure_journal(const Args& args,
+                              driver::RunnerConfig& config) {
+  const std::string path = args.flag("resume") ? args.value("resume", "")
+                                               : args.value("journal", "");
+  config.journal_path = path;
+  config.resume = args.flag("resume");
+  config.journal_fsync = args.flag("fsync");
+  if (!path.empty()) {
+    config.stop = &g_stop;
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+  }
+  return path;
 }
 
 int cmd_gen(const Args& args) {
@@ -198,10 +235,39 @@ int cmd_analyze(const Args& args) {
     }
   }
   options.detector = &detector;
+  const std::uint64_t seed = std::stoull(args.value("seed", "1"));
+  driver::RunnerConfig runner_config;
+  const std::string journal_path = configure_journal(args, runner_config);
   core::DyDroid pipeline(std::move(options));
-  const auto report =
-      pipeline.analyze(bytes, std::stoull(args.value("seed", "1")));
-  std::printf("%s", core::report_to_json(report).c_str());
+  if (journal_path.empty()) {
+    const auto report = pipeline.analyze(bytes, seed);
+    std::printf("%s", core::report_to_json(report).c_str());
+    return 0;
+  }
+  // Journaled single-app run: route through the corpus runner so the
+  // outcome is written ahead (and replayed byte-identically on --resume).
+  runner_config.jobs = 1;
+  driver::AppJob job;
+  job.apk = bytes;
+  job.seed = seed;  // the journal validates the seed on resume
+  const driver::CorpusRunner runner(pipeline, runner_config);
+  driver::CorpusResult result;
+  try {
+    result = runner.run(std::span<const driver::AppJob>(&job, 1));
+  } catch (const driver::RunAborted& e) {
+    std::fprintf(stderr, "analyze: %s\n", e.what());
+    std::fprintf(stderr, "  resume with: dydroid analyze %s --resume %s\n",
+                 args.positional[0].c_str(), journal_path.c_str());
+    return 3;
+  }
+  if (result.interrupted || result.outcomes.empty() ||
+      !result.outcomes[0].completed) {
+    std::fprintf(stderr, "analyze: interrupted before the app completed\n");
+    std::fprintf(stderr, "  resume with: dydroid analyze %s --resume %s\n",
+                 args.positional[0].c_str(), journal_path.c_str());
+    return 3;
+  }
+  std::printf("%s", core::report_to_json(result.outcomes[0].report).c_str());
   return 0;
 }
 
@@ -294,8 +360,20 @@ int cmd_survey(const Args& args) {
   driver::RunnerConfig runner_config;
   runner_config.seed_base = 1;  // app N runs with seed 1 + N
   runner_config.jobs = std::stoull(args.value("jobs", "0"));
+  const std::string journal_path = configure_journal(args, runner_config);
   const driver::CorpusRunner runner(pipeline, runner_config);
-  const auto result = runner.run(corpus);
+  driver::CorpusResult result;
+  try {
+    result = runner.run(corpus);
+  } catch (const driver::RunAborted& e) {
+    std::fprintf(stderr, "survey: %s\n", e.what());
+    std::fprintf(stderr,
+                 "  the journal is sealed; resume with: dydroid survey "
+                 "--scale %s --seed %s --resume %s\n",
+                 args.value("scale", "0.02").c_str(),
+                 args.value("seed", "20161101").c_str(), journal_path.c_str());
+    return 3;
+  }
   const auto& stats = result.stats;
   std::printf(
       "surveyed %zu apps: %zu intercepted DCL, %zu remote loaders, "
@@ -312,11 +390,25 @@ int cmd_survey(const Args& args) {
     std::printf("  fault policy: %zu timed out, %zu retried, %zu quarantined\n",
                 stats.timed_out, stats.retried, stats.quarantined);
   }
+  if (!journal_path.empty()) {
+    std::printf("  journal: %zu analyzed, %zu replayed -> %s\n",
+                result.analyzed, result.replayed, journal_path.c_str());
+  }
   std::printf("  %.1f ms on %zu worker(s), %.0f apps/s\n", result.wall_ms,
               result.threads,
               result.wall_ms > 0
                   ? 1000.0 * static_cast<double>(stats.apps) / result.wall_ms
                   : 0.0);
+  if (result.interrupted) {
+    std::fprintf(stderr,
+                 "survey: interrupted: %zu/%zu apps completed and journaled\n"
+                 "  resume with: dydroid survey --scale %s --seed %s "
+                 "--resume %s\n",
+                 result.completed(), corpus.apps.size(),
+                 args.value("scale", "0.02").c_str(),
+                 args.value("seed", "20161101").c_str(), journal_path.c_str());
+    return 3;
+  }
   return 0;
 }
 
@@ -357,14 +449,19 @@ void usage() {
       "      [--reflection] [--seed N]\n"
       "  analyze <app.sapk> [--seed N] [--host URL FILE]...\n"
       "      [--companion FILE] [--faults PLAN]\n"
+      "      [--journal PATH | --resume PATH]\n"
       "  disasm <app.sapk>\n"
       "  pack <in.sapk> <out.sapk> [--trap]\n"
       "  unpack <packed.sapk> <out.sapk> [--seed N]\n"
       "  survey [--scale S] [--seed N] [--jobs J] [--faults PLAN]\n"
       "      [--budget MS] [--retry]\n"
+      "      [--journal PATH | --resume PATH] [--fsync]\n"
       "  faultcheck [--scale S] [--seed N] [--jobs 1,2,8] [--fraction F]\n"
       "      [--no-corruption]\n"
-      "PLAN grammar (docs/FAULTS.md): site=always|never|nth:<N>|p:<P>,...\n");
+      "PLAN grammar (docs/FAULTS.md): site=always|never|nth:<N>|p:<P>,...\n"
+      "Crash safety (docs/CHECKPOINT.md): --journal writes a CRC-framed\n"
+      "write-ahead outcome log; a killed or interrupted run resumes with\n"
+      "--resume PATH, re-running only the missing apps.\n");
 }
 
 }  // namespace
@@ -377,7 +474,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const std::set<std::string> value_opts = {
       "pkg", "category", "seed", "malware", "vuln", "scale", "companion",
-      "jobs", "faults", "budget", "fraction"};
+      "jobs", "faults", "budget", "fraction", "journal", "resume"};
   const auto args = parse(argc, argv, 2, value_opts);
   try {
     if (cmd == "gen") return cmd_gen(args);

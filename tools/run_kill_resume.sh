@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Kill/resume stress harness (docs/CHECKPOINT.md): repeatedly SIGKILL a
+# `dydroid survey --journal` run at a random point, resume it, and diff the
+# summary against an uninterrupted golden run.
+#
+#   tools/run_kill_resume.sh [rounds] [scale] [seed] [jobs]
+#
+# Defaults: 10 rounds, --scale 0.01, --seed 20161101, --jobs 2. The dydroid
+# binary is taken from $DYDROID_CLI or ./build/tools/dydroid. Wall-clock
+# lines ("... ms on N worker(s)") and the journal bookkeeping line differ
+# between runs by construction and are stripped before the diff; everything
+# else — the Table II outcome histogram and every measurement aspect — must
+# be byte-identical. Exit status 1 on the first mismatch.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+rounds="${1:-10}"
+scale="${2:-0.01}"
+seed="${3:-20161101}"
+jobs="${4:-2}"
+cli="${DYDROID_CLI:-$repo/build/tools/dydroid}"
+
+if [[ ! -x "$cli" ]]; then
+  echo "run_kill_resume: dydroid binary not found at $cli" >&2
+  echo "  build it first (cmake --build build) or set DYDROID_CLI" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/dydroid_kill_resume.XXXXXX")"
+trap 'rm -rf "$workdir"' EXIT
+
+strip_timing() {
+  grep -v -e ' ms on ' -e 'journal:' -e 'resume with' "$1" || true
+}
+
+echo "==== golden run (scale=$scale seed=$seed jobs=$jobs) ===="
+"$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" \
+  > "$workdir/golden.txt"
+strip_timing "$workdir/golden.txt" > "$workdir/golden.stable"
+
+for round in $(seq 1 "$rounds"); do
+  journal="$workdir/round$round.jrnl"
+  out="$workdir/round$round.txt"
+  rm -f "$journal"
+
+  # Journaled run in the background, killed after a random 5-120 ms.
+  "$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" \
+    --journal "$journal" > /dev/null 2>&1 &
+  pid=$!
+  delay_ms=$((5 + RANDOM % 116))
+  sleep "$(printf '0.%03d' "$delay_ms")"
+  if kill -9 "$pid" 2>/dev/null; then
+    verdict="killed after ${delay_ms}ms"
+  else
+    verdict="finished before the kill (${delay_ms}ms)"
+  fi
+  wait "$pid" 2>/dev/null || true
+
+  # Resume. A kill before the journal header exists is a valid (if boring)
+  # outcome: there is nothing to resume, so re-run from scratch.
+  if [[ -s "$journal" ]]; then
+    "$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" \
+      --resume "$journal" > "$out" 2>/dev/null
+  else
+    "$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" > "$out"
+    verdict="$verdict, no journal yet"
+  fi
+
+  strip_timing "$out" > "$out.stable"
+  if ! diff -u "$workdir/golden.stable" "$out.stable"; then
+    echo "round $round: resumed summary DIFFERS from golden ($verdict)" >&2
+    exit 1
+  fi
+  echo "round $round: ok ($verdict)"
+done
+
+echo "kill/resume harness passed: $rounds rounds byte-identical"
