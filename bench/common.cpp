@@ -7,6 +7,7 @@
 #include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace dydroid::bench {
 
@@ -43,7 +44,30 @@ std::string journal_from_env() {
 
 bool resume_from_env() {
   const char* flag = std::getenv("DYDROID_RESUME");
-  return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+  if (flag == nullptr || flag[0] == '\0') return false;
+  // A boolean env hook that treated any non-"0" first byte as true made
+  // DYDROID_RESUME=false resume. Accept the usual spellings; warn and
+  // default to off on anything else — benches never throw on bad env.
+  const std::string text = support::to_lower(flag);
+  if (text == "1" || text == "true" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "no" || text == "off") {
+    return false;
+  }
+  std::fprintf(stderr,
+               "bench: ignoring invalid DYDROID_RESUME value \"%s\" "
+               "(want 1/true/yes/on or 0/false/no/off)\n",
+               flag);
+  return false;
+}
+
+// Optional Chrome trace for the bench corpus, from the DYDROID_TRACE env
+// var (docs/OBSERVABILITY.md). Absent or empty -> "", tracing stays
+// disarmed and the hot path keeps its single-branch fast path.
+std::string trace_from_env() {
+  const char* path = std::getenv("DYDROID_TRACE");
+  return (path == nullptr) ? std::string() : std::string(path);
 }
 
 }  // namespace
@@ -96,8 +120,20 @@ Measurement measure_corpus(const malware::DroidNative* detector,
   runner_config.journal_path = journal_from_env();
   runner_config.resume =
       !runner_config.journal_path.empty() && resume_from_env();
+  const std::string trace_path = trace_from_env();
+  if (!trace_path.empty()) support::set_trace_enabled(true);
   const driver::CorpusRunner runner(pipeline, runner_config);
   auto result = runner.run(m.corpus);
+  if (!trace_path.empty()) {
+    support::set_trace_enabled(false);
+    if (const auto status = support::trace_write_chrome_json(trace_path);
+        !status.ok()) {
+      std::fprintf(stderr, "bench: %s\n", status.error().c_str());
+    } else {
+      std::fprintf(stderr, "bench: wrote trace %s (%zu spans)\n",
+                   trace_path.c_str(), support::trace_collect().size());
+    }
+  }
 
   m.apps.reserve(m.corpus.apps.size());
   for (std::size_t i = 0; i < result.outcomes.size(); ++i) {

@@ -2,7 +2,8 @@
 // full DyDroid pipeline over it through the parallel CorpusRunner, and
 // exposes the measured reports (in corpus order) to the per-table printers.
 // Scale via DYDROID_SCALE (default 0.05 = ~2,937 apps); worker count via
-// DYDROID_JOBS (default: hardware concurrency).
+// DYDROID_JOBS (default: hardware concurrency); Chrome trace of the run
+// via DYDROID_TRACE=out.json (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdio>

@@ -27,6 +27,8 @@
 #include "privacy/flowdroid.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
+#include "support/strings.hpp"
+#include "support/trace.hpp"
 
 using namespace dydroid;
 
@@ -304,6 +306,45 @@ void emit_corpus_bench_json() {
                 core::report_to_json(parallel.outcomes[i].report);
   }
 
+  // Metrics-instrumented serial pass (docs/OBSERVABILITY.md): per-stage
+  // latency quantiles for the `metrics` section, plus the instrumentation
+  // overhead vs. the best uninstrumented serial run (budget: ~1%).
+  support::set_metrics_enabled(true);
+  support::metrics_reset();
+  const auto instrumented =
+      driver::CorpusRunner(pipeline, serial_config).run(corpus);
+  support::set_metrics_enabled(false);
+  const auto metrics = support::metrics_snapshot();
+  const double metrics_overhead_pct =
+      serial.wall_ms > 0
+          ? 100.0 * (instrumented.wall_ms - serial.wall_ms) / serial.wall_ms
+          : 0.0;
+  std::string metrics_json;
+  {
+    constexpr std::string_view kPrefixes[] = {"stage.", "phase.", "runner.",
+                                              "journal."};
+    bool first = true;
+    for (const auto& h : metrics.histograms) {
+      bool match = false;
+      for (const auto& prefix : kPrefixes) {
+        if (h.name.starts_with(prefix)) {
+          match = true;
+          break;
+        }
+      }
+      if (!match || h.observations == 0) continue;
+      if (!first) metrics_json += ",";
+      first = false;
+      metrics_json += support::format(
+          "\n    {\"name\": \"%s\", \"count\": %llu, \"p50_ms\": %.3f,"
+          " \"p95_ms\": %.3f, \"max_ms\": %.3f, \"total_ms\": %.1f}",
+          h.name.c_str(), static_cast<unsigned long long>(h.observations),
+          h.quantile_us(0.50) / 1000.0, h.quantile_us(0.95) / 1000.0,
+          static_cast<double>(h.max_us) / 1000.0,
+          static_cast<double>(h.sum_us) / 1000.0);
+    }
+  }
+
   const auto apps = static_cast<double>(corpus.apps.size());
   const double serial_aps =
       serial.wall_ms > 0 ? 1000.0 * apps / serial.wall_ms : 0.0;
@@ -327,6 +368,8 @@ void emit_corpus_bench_json() {
                " \"apps_per_sec\": %.1f},\n"
                "  \"journaled\": {\"jobs\": 1, \"wall_ms\": %.2f,"
                " \"overhead_pct\": %.2f},\n"
+               "  \"metrics\": {\"overhead_pct\": %.2f, \"stages\": [%s\n"
+               "  ]},\n"
                "  \"speedup\": %.3f,\n"
                "  \"reports_identical\": %s\n"
                "}\n",
@@ -334,6 +377,7 @@ void emit_corpus_bench_json() {
                static_cast<std::size_t>(std::thread::hardware_concurrency()),
                serial.wall_ms, serial_aps, parallel.threads, parallel.wall_ms,
                parallel_aps, journaled.wall_ms, journal_overhead_pct,
+               metrics_overhead_pct, metrics_json.c_str(),
                parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
                identical ? "true" : "false");
   std::fclose(f);

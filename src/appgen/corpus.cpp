@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <map>
@@ -32,13 +33,19 @@ const std::vector<std::string>& play_categories() {
 }
 
 double scale_from_env(double fallback) {
-  if (const char* env = std::getenv("DYDROID_SCALE")) {
-    try {
-      const double v = std::stod(env);
-      if (v > 0 && v <= 1.0) return v;
-    } catch (const std::exception&) {
-    }
+  const char* env = std::getenv("DYDROID_SCALE");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  // Checked parse: a typo'd scale used to be silently swallowed, leaving
+  // the user benchmarking the wrong corpus size. Warn and fall back —
+  // env hooks never throw (satellite of docs/OBSERVABILITY.md PR).
+  const auto parsed = support::parse_double(env);
+  if (parsed.ok() && parsed.value() > 0 && parsed.value() <= 1.0) {
+    return parsed.value();
   }
+  std::fprintf(stderr,
+               "corpus: ignoring invalid DYDROID_SCALE \"%s\" "
+               "(want a number in (0, 1]); using %g\n",
+               env, fallback);
   return fallback;
 }
 

@@ -2,6 +2,7 @@
 
 #include "core/stages.hpp"
 #include "support/log.hpp"
+#include "support/trace.hpp"
 
 namespace dydroid::core {
 
@@ -74,7 +75,10 @@ namespace {
 
 /// Run one stage, converting any escaping exception into a stage failure.
 /// This is the no-exceptions boundary the corpus worker threads rely on.
+/// Each invocation opens exactly one "stage"-category span — the unit of
+/// the per-(app, stage, attempt) accounting in docs/OBSERVABILITY.md.
 StageResult run_stage_guarded(const Stage& stage, AnalysisContext& ctx) {
+  TRACE_SPAN("stage", stage.name());
   try {
     return stage.run(ctx);
   } catch (const std::exception& e) {

@@ -2,6 +2,7 @@
 
 #include "analysis/rewriter.hpp"
 #include "support/log.hpp"
+#include "support/trace.hpp"
 
 namespace dydroid::core {
 
@@ -10,7 +11,12 @@ namespace dydroid::core {
 StageResult StaticStage::run(AnalysisContext& ctx) const {
   ctx.bytes_to_run = ctx.apk_bytes;
 
-  auto ir = analysis::decompile(ctx.apk_bytes);
+  auto ir = [&] {
+    // Nested "phase" span: decompilation dominates the static stage; the
+    // trace shows it as a child of the enclosing "stage"/"static" span.
+    TRACE_SPAN("phase", "static.decompile");
+    return analysis::decompile(ctx.apk_bytes);
+  }();
   if (!ir.ok()) {
     ctx.report.decompile_failed = true;
     ctx.report.obfuscation.anti_decompilation = true;
@@ -20,9 +26,12 @@ StageResult StaticStage::run(AnalysisContext& ctx) const {
   const auto& decompiled = *ctx.ir;
   ctx.report.package = decompiled.manifest.package;
   ctx.report.min_sdk = decompiled.manifest.min_sdk;
-  ctx.report.obfuscation = obfuscation::analyze_obfuscation(decompiled);
-  if (decompiled.classes_dex.has_value()) {
-    ctx.report.static_dcl = scan_dcl_apis(*decompiled.classes_dex);
+  {
+    TRACE_SPAN("phase", "static.scan");
+    ctx.report.obfuscation = obfuscation::analyze_obfuscation(decompiled);
+    if (decompiled.classes_dex.has_value()) {
+      ctx.report.static_dcl = scan_dcl_apis(*decompiled.classes_dex);
+    }
   }
 
   if (!ctx.options->dynamic_analysis || !ctx.report.static_dcl.any()) {
@@ -54,31 +63,42 @@ StageResult RewriteStage::run(AnalysisContext& ctx) const {
 // ---- DynamicStage ----------------------------------------------------------
 
 StageResult DynamicStage::run(AnalysisContext& ctx) const {
-  os::Device device(ctx.options->device);
-  if (const auto& scenario = ctx.scenario(); scenario) scenario(device);
-  ctx.options->runtime.apply(device.services());
+  std::optional<os::Device> device;
+  {
+    TRACE_SPAN("phase", "dynamic.boot");
+    device.emplace(ctx.options->device);
+    if (const auto& scenario = ctx.scenario(); scenario) scenario(*device);
+    ctx.options->runtime.apply(device->services());
+  }
 
   // Container parsing and manifest extraction are both routed through the
   // stage status: a malformed (e.g. packer-damaged) container is a per-app
   // crash outcome, never an exception escaping to the corpus driver.
   apk::ApkFile apk;
   manifest::Manifest man;
-  try {
-    apk = apk::ApkFile::deserialize(ctx.bytes_to_run, apk::ParseMode::kLenient);
-    man = apk.read_manifest();
-  } catch (const support::ParseError& e) {
-    ctx.report.status = DynamicStatus::kCrash;
-    ctx.report.crash_message = e.what();
-    return StageAction::kStop;
-  }
-  if (const auto installed = device.install(apk); !installed) {
-    ctx.report.status = DynamicStatus::kCrash;
-    ctx.report.crash_message = installed.error();
-    return StageAction::kStop;
+  {
+    TRACE_SPAN("phase", "dynamic.install");
+    try {
+      apk =
+          apk::ApkFile::deserialize(ctx.bytes_to_run, apk::ParseMode::kLenient);
+      man = apk.read_manifest();
+    } catch (const support::ParseError& e) {
+      ctx.report.status = DynamicStatus::kCrash;
+      ctx.report.crash_message = e.what();
+      return StageAction::kStop;
+    }
+    if (const auto installed = device->install(apk); !installed) {
+      ctx.report.status = DynamicStatus::kCrash;
+      ctx.report.crash_message = installed.error();
+      return StageAction::kStop;
+    }
   }
 
   support::Rng rng(ctx.seed);
-  ctx.run = run_app(device, apk, man, rng, ctx.options->engine);
+  {
+    TRACE_SPAN("phase", "dynamic.fuzz");
+    ctx.run = run_app(*device, apk, man, rng, ctx.options->engine);
+  }
   auto& run = *ctx.run;
   ctx.report.storage_recovered = run.storage_recovered;
   ctx.report.crash_message = run.monkey.crash_message;

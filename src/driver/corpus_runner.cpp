@@ -1,6 +1,7 @@
 #include "driver/corpus_runner.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
@@ -12,6 +13,7 @@
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace dydroid::driver {
 
@@ -80,13 +82,24 @@ void AggregateStats::merge(const AggregateStats& other) {
 
 std::size_t resolve_jobs(std::size_t requested) {
   if (requested > 0) return requested;
-  if (const char* env = std::getenv("DYDROID_JOBS")) {
-    char* end = nullptr;
-    const unsigned long value = std::strtoul(env, &end, 10);
-    if (end != env && value > 0) return static_cast<std::size_t>(value);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  const std::size_t fallback = hw > 0 ? hw : 1;
+  const char* env = std::getenv("DYDROID_JOBS");
+  if (env == nullptr || env[0] == '\0') return fallback;
+  // Strict parse: "4x", "nope" or "-1" must warn-and-default, never throw
+  // or silently wrap (the old strtoul accepted "4x" as 4 and "nope" as a
+  // silent fallthrough). The warning goes straight to stderr — env
+  // misconfiguration must be visible even when the log level is Error
+  // (the CLI survey path quiets the logger).
+  const auto parsed = support::parse_u64(env);
+  if (!parsed.ok() || parsed.value() == 0) {
+    std::fprintf(stderr,
+                 "driver: ignoring invalid DYDROID_JOBS %s (%s); using %zu\n",
+                 env, parsed.ok() ? "must be >= 1" : parsed.error().c_str(),
+                 fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed.value());
 }
 
 CorpusRunner::CorpusRunner(const core::DyDroid& pipeline, RunnerConfig config)
@@ -209,7 +222,8 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
   // thread can never be torn down — and a crashing app still gets its
   // elapsed time recorded instead of wall_ms = 0.
   const auto run_attempt = [&](const AppJob& job, AppOutcome& outcome,
-                               std::uint32_t attempt) {
+                               std::uint32_t attempt, std::size_t index,
+                               std::size_t worker) {
     // Record the attempt as it *starts*, not when the retry policy decides
     // to schedule it: a journaled outcome must never claim an attempt that
     // did not run (live stats and journal replay count `retried` from this
@@ -222,20 +236,51 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
     request.attempt = attempt;
     request.scenario_setup = job.scenario ? &job.scenario : nullptr;
 
-    const support::Stopwatch app_clock;
-    try {
-      outcome.report = pipeline_->analyze(request);
-    } catch (const std::exception& e) {
-      outcome.report = core::AppReport{};
-      outcome.report.status = core::DynamicStatus::kCrash;
-      outcome.report.crash_message = std::string("runner: ") + e.what();
-    } catch (...) {
-      outcome.report = core::AppReport{};
-      outcome.report.status = core::DynamicStatus::kCrash;
-      outcome.report.crash_message = "runner: unknown exception";
+    // Nested ambient context: every span opened under this attempt — the
+    // stage spans inside analyze(), the sub-phase spans below them — is
+    // tagged (app index, attempt, worker) without any plumbing.
+    const support::TraceContextScope trace_context(
+        static_cast<std::uint32_t>(index), attempt,
+        static_cast<std::uint32_t>(worker));
+
+    // Wall-time accounting guard: every exit path — normal return, a crash
+    // converted below, or an exception escaping this very machinery (e.g.
+    // bad_alloc while forming the crash report) — *accumulates* the
+    // attempt's elapsed time into outcome.wall_ms exactly once. Before
+    // this guard the escaping-exception path assigned (=) while the
+    // normal path accumulated (+=), so paths could disagree about whether
+    // earlier attempts' time was included.
+    struct WallGuard {
+      support::Stopwatch clock;
+      double* into;
+      ~WallGuard() {
+        if (into != nullptr) *into += clock.elapsed_ms();
+      }
+      /// Normal-path exit: settle the accumulation and report the
+      /// attempt's own elapsed ms (for the per-attempt budget check).
+      double settle() {
+        const double ms = clock.elapsed_ms();
+        *into += ms;
+        into = nullptr;
+        return ms;
+      }
+    } wall_guard{support::Stopwatch{}, &outcome.wall_ms};
+
+    {
+      const support::Span attempt_span("runner", "attempt");
+      try {
+        outcome.report = pipeline_->analyze(request);
+      } catch (const std::exception& e) {
+        outcome.report = core::AppReport{};
+        outcome.report.status = core::DynamicStatus::kCrash;
+        outcome.report.crash_message = std::string("runner: ") + e.what();
+      } catch (...) {
+        outcome.report = core::AppReport{};
+        outcome.report.status = core::DynamicStatus::kCrash;
+        outcome.report.crash_message = "runner: unknown exception";
+      }
     }
-    const double attempt_ms = app_clock.elapsed_ms();
-    outcome.wall_ms += attempt_ms;
+    const double attempt_ms = wall_guard.settle();
     const bool over_budget =
         options.max_app_wall_ms > 0.0 && attempt_ms > options.max_app_wall_ms;
     if (over_budget) outcome.timed_out = true;
@@ -245,22 +290,22 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
 
   /// Full per-app policy: timeout + single-retry-then-quarantine
   /// (docs/FAULTS.md), wrapped in the escaping-exception belt so that an
-  /// exception leaking out of the attempt machinery itself (e.g. an
-  /// allocation failure while forming a crash report) still resolves into
-  /// a consistent outcome — attempts ≥ 1, wall time recorded, timed_out
-  /// derived by the same budget rule — instead of terminating the driver.
+  /// exception leaking out of the attempt machinery itself still resolves
+  /// into a consistent outcome — attempts ≥ 1, wall time accumulated by
+  /// the attempt's WallGuard, timed_out derived by the same budget rule —
+  /// instead of terminating the driver.
   const auto analyze_app = [&](const AppJob& job, AppOutcome& outcome,
-                               std::size_t index) {
+                               std::size_t index, std::size_t worker) {
     outcome.seed = seed_of(index);
-    const support::Stopwatch total_clock;
     try {
-      bool failed = run_attempt(job, outcome, 0);
+      bool failed = run_attempt(job, outcome, 0, index, worker);
       if (failed && options.retry_on_crash) {
         // The retry's fault session is salted by the attempt, so transient
         // injected faults clear deterministically; if the retry fails too,
         // the app is quarantined — its final report keeps its Table II
         // bucket.
-        failed = run_attempt(job, outcome, 1);
+        support::count("runner.retry");
+        failed = run_attempt(job, outcome, 1, index, worker);
         outcome.quarantined = failed;
       }
     } catch (const std::exception& e) {
@@ -269,7 +314,10 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
       outcome.report.crash_message =
           std::string("runner: escaped attempt machinery: ") + e.what();
       if (outcome.attempts == 0) outcome.attempts = 1;
-      outcome.wall_ms = total_clock.elapsed_ms();
+      // wall_ms was already accumulated by the attempt's WallGuard; do NOT
+      // overwrite it here (the old assignment was the =/+= mixup this
+      // guard removes). The budget check runs over the accumulated total —
+      // conservative, since the per-attempt split is unknowable here.
       if (options.max_app_wall_ms > 0.0 &&
           outcome.wall_ms > options.max_app_wall_ms) {
         outcome.timed_out = true;
@@ -279,25 +327,34 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
       outcome.report.status = core::DynamicStatus::kCrash;
       outcome.report.crash_message = "runner: escaped attempt machinery";
       if (outcome.attempts == 0) outcome.attempts = 1;
-      outcome.wall_ms = total_clock.elapsed_ms();
       if (options.max_app_wall_ms > 0.0 &&
           outcome.wall_ms > options.max_app_wall_ms) {
         outcome.timed_out = true;
       }
     }
     outcome.completed = true;
+    support::count("runner.apps");
+    if (outcome.timed_out) support::count("runner.timed_out");
+    if (outcome.quarantined) support::count("runner.quarantined");
+    support::observe_us("runner.app_wall",
+                        static_cast<std::uint64_t>(outcome.wall_ms * 1000.0));
   };
 
   /// Write-ahead append of one finished outcome. Returns false when the
   /// run must abort (failed append or injected driver kill).
   const auto journal_outcome = [&](std::size_t index,
                                    const AppOutcome& outcome) {
+    // The span covers encode + lock wait + append, so the trace shows
+    // journal contention as well as raw write latency (the write-only
+    // latency lives in the journal.append_write histogram).
+    const support::Span journal_span("journal", "append");
     // One long-lived encode buffer per worker thread: capacity sticks
     // around after the first few appends, so encoding stops allocating.
     thread_local support::ByteWriter encoder;
     encoder.clear();
     encode_outcome_into(index, outcome, encoder);
     const support::Bytes& payload = encoder.data();
+    support::count("journal.append_bytes", payload.size());
     const std::lock_guard<std::mutex> lock(journal_mutex);
     if (aborted.load(std::memory_order_relaxed)) return false;
     // Install the driver fault session (if armed) so the journal.append
@@ -325,14 +382,19 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
   // index-derived seed and writes into that index's pre-sized outcome
   // slot — disjoint writes, no locks on the hot path (the journal mutex is
   // only ever taken when journaling is enabled).
-  const auto worker = [&](std::size_t) {
+  const auto worker = [&](std::size_t worker_id) {
     for (;;) {
       if (should_quit()) break;
       const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= jobs.size()) break;
       if (done[index]) continue;  // replayed from the resume journal
       AppOutcome& outcome = result.outcomes[index];
-      analyze_app(jobs[index], outcome, index);
+      // Ambient tagging for the journal-append span (the per-attempt spans
+      // install their own nested context with the attempt ordinal).
+      const support::TraceContextScope trace_context(
+          static_cast<std::uint32_t>(index), 0,
+          static_cast<std::uint32_t>(worker_id));
+      analyze_app(jobs[index], outcome, index, worker_id);
       if (journal.has_value() && !journal_outcome(index, outcome)) break;
     }
   };

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cstdio>
 
+#include "support/trace.hpp"
+
 namespace dydroid::support {
 
 namespace {
@@ -211,7 +213,12 @@ FaultSession* current_fault_session() { return t_session; }
 bool fault_fire(FaultSite site) {
   FaultSession* session = t_session;
   if (session == nullptr) return false;  // production fast path
-  return session->should_fire(site);
+  const bool fired = session->should_fire(site);
+  // Fault-fire accounting (docs/OBSERVABILITY.md): only reached with an
+  // ambient session installed, so the production fast path stays a single
+  // branch.
+  if (fired) count("fault.fired");
+  return fired;
 }
 
 std::string fault_message(FaultSite site) {

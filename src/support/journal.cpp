@@ -7,6 +7,8 @@
 
 #include "support/fault.hpp"
 #include "support/hash.hpp"
+#include "support/stopwatch.hpp"
+#include "support/trace.hpp"
 
 #if defined(_WIN32)
 #error "support::Journal requires a POSIX platform"
@@ -159,12 +161,20 @@ Status JournalWriter::append(std::span<const std::uint8_t> payload) {
   // One writev, no frame buffer: with O_APPEND the kernel serializes the
   // whole vector at the end of the file, so concurrent appenders (already
   // mutex-guarded by the runner) and crash recovery both see whole or
-  // cleanly torn frames.
+  // cleanly torn frames. The write-only latency (excluding encode and lock
+  // wait, which the runner's "journal"/"append" span covers) feeds the
+  // journal.append_write histogram when metrics are on.
+  const Stopwatch write_clock;
   if (!writev_fully(fd_, header, sizeof(header), payload.data(),
                     payload.size())) {
     return Status::failure(errno_message("journal: append failed on", path_));
   }
   ++appended_;
+  if (metrics_enabled()) {
+    observe_us("journal.append_write",
+               static_cast<std::uint64_t>(write_clock.elapsed_ms() * 1000.0));
+    count("journal.appends");
+  }
   if (options_.fsync_each_record) return sync();
   return {};
 }

@@ -1,8 +1,11 @@
 #include "support/strings.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace dydroid::support {
 
@@ -61,6 +64,82 @@ std::string format(const char* fmt, ...) {
   }
   va_end(args);
   return out;
+}
+
+// ---- checked numeric parsing -----------------------------------------------
+
+namespace {
+
+/// Shared preamble: a NUL-terminated copy (strtoull/strtod need one) and
+/// the checks both parsers share. Returns an error message or "".
+std::string check_numeric_prefix(std::string_view text, bool allow_sign) {
+  if (text.empty()) return "empty value";
+  const unsigned char first = static_cast<unsigned char>(text.front());
+  if (std::isspace(first) != 0) return "leading whitespace";
+  if (!allow_sign && (first == '-' || first == '+')) {
+    return "sign not allowed";  // strtoull would silently wrap "-1"
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<std::uint64_t> parse_u64(std::string_view text) {
+  const auto fail = [&](const std::string& why) {
+    return Result<std::uint64_t>::failure("'" + std::string(text) +
+                                          "': " + why);
+  };
+  if (auto why = check_numeric_prefix(text, /*allow_sign=*/false);
+      !why.empty()) {
+    return fail(why);
+  }
+  const std::string copy(text);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(copy.c_str(), &end, 10);
+  if (end == copy.c_str()) return fail("not a number");
+  if (*end != '\0') return fail("trailing garbage");
+  if (errno == ERANGE) return fail("out of range");
+  return static_cast<std::uint64_t>(value);
+}
+
+Result<double> parse_double(std::string_view text) {
+  const auto fail = [&](const std::string& why) {
+    return Result<double>::failure("'" + std::string(text) + "': " + why);
+  };
+  if (auto why = check_numeric_prefix(text, /*allow_sign=*/true);
+      !why.empty()) {
+    return fail(why);
+  }
+  const std::string copy(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str()) return fail("not a number");
+  if (*end != '\0') return fail("trailing garbage");
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return fail("out of range");
+  }
+  if (!std::isfinite(value)) return fail("not finite");
+  return value;
+}
+
+Result<std::vector<std::uint64_t>> parse_u64_list(std::string_view text,
+                                                  char delim) {
+  std::vector<std::uint64_t> values;
+  for (const auto& field : split(text, delim)) {
+    if (field.empty()) continue;  // tolerate "1,2," and "1,,2"
+    auto value = parse_u64(field);
+    if (!value.ok()) {
+      return Result<std::vector<std::uint64_t>>::failure(value.error());
+    }
+    values.push_back(value.value());
+  }
+  if (values.empty()) {
+    return Result<std::vector<std::uint64_t>>::failure(
+        "'" + std::string(text) + "': no values");
+  }
+  return values;
 }
 
 }  // namespace dydroid::support

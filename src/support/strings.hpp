@@ -1,9 +1,12 @@
 // Small string helpers shared across modules.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/error.hpp"
 
 namespace dydroid::support {
 
@@ -25,5 +28,24 @@ std::string to_lower(std::string_view s);
 
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// ---- checked numeric parsing -----------------------------------------------
+// Strict parsers for CLI flags and env hooks: reject empty input, leading
+// signs on unsigned values (strtoull would silently wrap "-1"), trailing
+// garbage ("4x") and out-of-range values ("1e999"). Errors carry the
+// offending text so callers can print a usage message instead of dying on
+// an uncaught std::invalid_argument.
+
+/// Parse a non-negative base-10 integer. Whole-string match required.
+[[nodiscard]] Result<std::uint64_t> parse_u64(std::string_view text);
+
+/// Parse a finite floating-point value. Whole-string match required.
+[[nodiscard]] Result<double> parse_double(std::string_view text);
+
+/// Parse a delimiter-separated list of u64s ("1,2,8"). Empty fields —
+/// including a trailing delimiter ("1,2,") — are skipped; at least one
+/// value is required and any malformed field fails the whole parse.
+[[nodiscard]] Result<std::vector<std::uint64_t>> parse_u64_list(
+    std::string_view text, char delim = ',');
 
 }  // namespace dydroid::support

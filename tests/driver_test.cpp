@@ -318,6 +318,51 @@ TEST(CorpusRunner, OverBudgetAppIsTimedOutRetriedAndQuarantined) {
   EXPECT_EQ(result.stats.quarantined, 1u);
 }
 
+TEST(CorpusRunner, CrashingRetriesAccumulateWallTimeAcrossAttempts) {
+  // Regression for the wall_ms accounting mixup: the normal attempt path
+  // accumulated (+=) while the exception paths assigned (=), so a retried
+  // app could report only its *last* attempt's wall time. Every path now
+  // goes through one accumulate-exactly-once guard: a crash-looping app
+  // that retries must report the *sum* of both attempts.
+  appgen::AppSpec spec;
+  spec.package = "com.driver.crashloop";
+  spec.category = "Tools";
+  spec.ad_sdk = true;
+  support::Rng rng(29);
+  const auto app = appgen::build_app(spec, rng);
+
+  const auto plan_result = support::FaultPlan::parse("device.install=always");
+  ASSERT_TRUE(plan_result.ok()) << plan_result.error();
+  const auto& plan = plan_result.value();
+
+  core::PipelineOptions options;
+  options.faults = &plan;
+  options.retry_on_crash = true;
+  const core::DyDroid pipeline(std::move(options));
+
+  std::vector<AppJob> jobs(1);
+  jobs[0].apk = app.apk;
+  jobs[0].scenario = [&app](os::Device& device) {
+    // Give each attempt a measurable floor: the scenario runs inside the
+    // dynamic stage on *every* attempt, before the injected install fault.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    appgen::apply_scenario(app.scenario, device);
+  };
+
+  RunnerConfig config;
+  config.jobs = 1;
+  const auto result = CorpusRunner(pipeline, config).run(jobs);
+  const auto& outcome = result.outcomes[0];
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_TRUE(outcome.quarantined);
+  EXPECT_EQ(outcome.report.status, core::DynamicStatus::kCrash);
+  // Both attempts' elapsed time summed — not just the final attempt's.
+  EXPECT_GE(outcome.wall_ms, 20.0);
+  EXPECT_EQ(result.stats.retried, 1u);
+  EXPECT_EQ(result.stats.quarantined, 1u);
+  EXPECT_DOUBLE_EQ(result.stats.total_app_ms, outcome.wall_ms);
+}
+
 TEST(CorpusRunner, TransientInjectedCrashRetriesCleanlyAndRecovers) {
   appgen::AppSpec spec;
   spec.package = "com.driver.flaky";

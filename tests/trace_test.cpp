@@ -1,0 +1,388 @@
+// Observability layer tests (docs/OBSERVABILITY.md): span collection and
+// nesting, ambient context inheritance, deterministic merge order across
+// threads, Chrome trace_event JSON export, histogram bucketing/quantiles,
+// counters and the checked numeric parsers the CLI/env hardening rides on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/strings.hpp"
+#include "support/trace.hpp"
+
+namespace dydroid::support {
+namespace {
+
+/// RAII: every test leaves both facilities off and empty.
+struct InstrumentationGuard {
+  InstrumentationGuard() {
+    set_trace_enabled(false);
+    set_metrics_enabled(false);
+    trace_reset();
+    metrics_reset();
+  }
+  ~InstrumentationGuard() {
+    set_trace_enabled(false);
+    set_metrics_enabled(false);
+    trace_reset();
+    metrics_reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  InstrumentationGuard guard;
+  {
+    TRACE_SPAN("test", "noop");
+    TRACE_SPAN("test", "nested");
+  }
+  EXPECT_TRUE(trace_collect().empty());
+  EXPECT_EQ(trace_dropped(), 0u);
+}
+
+TEST(Trace, SpansRecordNestingDepthAndAmbientContext) {
+  InstrumentationGuard guard;
+  set_trace_enabled(true);
+  {
+    const TraceContextScope context(7, 1, 3);
+    TRACE_SPAN("stage", "outer");
+    {
+      TRACE_SPAN("phase", "inner");
+    }
+  }
+  {
+    TRACE_SPAN("runner", "orphan");  // outside any app context
+  }
+  set_trace_enabled(false);
+  const auto events = trace_collect();
+  ASSERT_EQ(events.size(), 3u);
+  // Deterministic order is by begin time: outer opened first but closes
+  // last; begin(outer) <= begin(inner) <= begin(orphan).
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].cat, "stage");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[0].app, 7u);
+  EXPECT_EQ(events[0].attempt, 1u);
+  EXPECT_EQ(events[0].worker, 3u);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].depth, 1u);  // nested under "outer"
+  EXPECT_EQ(events[1].app, 7u);
+  EXPECT_GE(events[0].dur_ns, events[1].dur_ns);  // outer encloses inner
+  EXPECT_EQ(events[2].name, "orphan");
+  EXPECT_EQ(events[2].app, kTraceNoApp);
+  EXPECT_EQ(events[2].depth, 0u);
+}
+
+TEST(Trace, ContextScopesRestoreOnExit) {
+  InstrumentationGuard guard;
+  set_trace_enabled(true);
+  {
+    const TraceContextScope outer(1, 0, 0);
+    {
+      const TraceContextScope inner(2, 1, 0);
+      TRACE_SPAN("test", "in_inner");
+    }
+    TRACE_SPAN("test", "in_outer");
+  }
+  set_trace_enabled(false);
+  const auto events = trace_collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].app, 2u);
+  EXPECT_EQ(events[0].attempt, 1u);
+  EXPECT_EQ(events[1].app, 1u);  // restored after the inner scope ended
+  EXPECT_EQ(events[1].attempt, 0u);
+}
+
+TEST(Trace, RingOverflowDropsOldestAndCounts) {
+  InstrumentationGuard guard;
+  trace_reset(/*ring_capacity=*/8);
+  set_trace_enabled(true);  // re-arms with the 8-slot capacity just set
+  for (int i = 0; i < 20; ++i) {
+    TRACE_SPAN("test", "tick");
+  }
+  set_trace_enabled(false);
+  EXPECT_EQ(trace_collect().size(), 8u);
+  EXPECT_EQ(trace_dropped(), 12u);
+}
+
+TEST(Trace, MultiThreadedCollectionMergesDeterministically) {
+  InstrumentationGuard guard;
+  set_trace_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::jthread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t] {
+      const TraceContextScope context(static_cast<std::uint32_t>(t), 0,
+                                      static_cast<std::uint32_t>(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TRACE_SPAN("test", "work");
+      }
+    });
+  }
+  pool.clear();  // join
+  set_trace_enabled(false);
+  const auto first = trace_collect();
+  const auto second = trace_collect();
+  ASSERT_EQ(first.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].begin_ns, second[i].begin_ns);
+    EXPECT_EQ(first[i].app, second[i].app);
+    EXPECT_EQ(first[i].worker, second[i].worker);
+  }
+  // Sorted by begin time regardless of which thread's buffer came first.
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(first[i - 1].begin_ns, first[i].begin_ns);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event JSON
+// ---------------------------------------------------------------------------
+
+TEST(Trace, ChromeJsonShapeAndEscaping) {
+  std::vector<TraceEvent> events(2);
+  events[0].begin_ns = 1500;  // 1.5 us
+  events[0].dur_ns = 2'000'000;
+  events[0].cat = "stage";
+  events[0].name = "has\"quote";
+  events[0].app = 3;
+  events[0].attempt = 1;
+  events[0].worker = 2;
+  events[0].depth = 0;
+  events[1].cat = "runner";
+  events[1].name = "attempt";
+  events[1].app = kTraceNoApp;  // no app args emitted
+  const auto json = trace_to_chrome_json(events);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"has\\\"quote\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"app\":3,\"attempt\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  // Braces and brackets balance (cheap well-formedness proxy; none of the
+  // emitted strings contain unescaped structural characters).
+  long braces = 0;
+  long brackets = 0;
+  for (const char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  // The second event has no app args at all.
+  EXPECT_EQ(json.find("\"app\":4294967295"), std::string::npos);
+}
+
+TEST(Trace, WriteChromeJsonRoundTripsThroughDisk) {
+  InstrumentationGuard guard;
+  set_trace_enabled(true);
+  {
+    const TraceContextScope context(0, 0, 0);
+    TRACE_SPAN("stage", "static");
+  }
+  set_trace_enabled(false);
+  const std::string path =
+      ::testing::TempDir() + "/dydroid_trace_roundtrip.json";
+  const auto status = trace_write_chrome_json(path);
+  ASSERT_TRUE(status.ok()) << status.error();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const std::string on_disk((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(on_disk, trace_to_chrome_json(trace_collect()));
+  EXPECT_NE(on_disk.find("\"name\":\"static\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Histograms + counters
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  EXPECT_EQ(histogram_bucket(1023), 10u);
+  EXPECT_EQ(histogram_bucket(1024), 11u);
+  // Bucket b >= 1 holds [2^(b-1), 2^b).
+  for (std::size_t b = 1; b < kHistogramBuckets - 1; ++b) {
+    EXPECT_EQ(histogram_bucket(histogram_bucket_lo(b)), b);
+    EXPECT_EQ(histogram_bucket(histogram_bucket_lo(b + 1) - 1), b);
+  }
+  // Everything past the last boundary clamps into the final bucket.
+  EXPECT_EQ(histogram_bucket(~std::uint64_t{0}), kHistogramBuckets - 1);
+}
+
+TEST(Metrics, ObservationsFeedBucketsSumAndMax) {
+  InstrumentationGuard guard;
+  set_metrics_enabled(true);
+  observe_us("test.latency", 0);
+  observe_us("test.latency", 3);
+  observe_us("test.latency", 3);
+  observe_us("test.latency", 100);
+  const auto snapshot = metrics_snapshot();
+  const auto* h = snapshot.histogram("test.latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->observations, 4u);
+  EXPECT_EQ(h->sum_us, 106u);
+  EXPECT_EQ(h->max_us, 100u);
+  EXPECT_EQ(h->buckets[0], 1u);                     // the zero
+  EXPECT_EQ(h->buckets[histogram_bucket(3)], 2u);   // the threes
+  EXPECT_EQ(h->buckets[histogram_bucket(100)], 1u);
+  EXPECT_DOUBLE_EQ(h->mean_us(), 106.0 / 4.0);
+  // Quantiles are monotone and clamped to the true max.
+  EXPECT_LE(h->quantile_us(0.50), h->quantile_us(0.95));
+  EXPECT_LE(h->quantile_us(0.95), h->quantile_us(1.0));
+  EXPECT_LE(h->quantile_us(1.0), static_cast<double>(h->max_us));
+}
+
+TEST(Metrics, QuantileOfUniformBucketIsInsideIt) {
+  HistogramValue h;
+  h.observations = 100;
+  h.max_us = 1000;
+  h.buckets[histogram_bucket(512)] = 100;  // all in [512, 1024)
+  EXPECT_GE(h.quantile_us(0.5), 512.0);
+  EXPECT_LE(h.quantile_us(0.5), 1000.0);
+  EXPECT_GE(h.quantile_us(0.95), h.quantile_us(0.05));
+}
+
+TEST(Metrics, CountersAccumulateAndResetClears) {
+  InstrumentationGuard guard;
+  set_metrics_enabled(true);
+  count("test.ticks");
+  count("test.ticks", 4);
+  count("test.bytes", 1000);
+  auto snapshot = metrics_snapshot();
+  const auto* ticks = snapshot.counter("test.ticks");
+  ASSERT_NE(ticks, nullptr);
+  EXPECT_EQ(ticks->value, 5u);
+  ASSERT_NE(snapshot.counter("test.bytes"), nullptr);
+  EXPECT_EQ(snapshot.counter("test.bytes")->value, 1000u);
+
+  metrics_reset();
+  snapshot = metrics_snapshot();
+  // Names survive the reset; values are zeroed.
+  ASSERT_NE(snapshot.counter("test.ticks"), nullptr);
+  EXPECT_EQ(snapshot.counter("test.ticks")->value, 0u);
+}
+
+TEST(Metrics, DisabledObservationsAreDropped) {
+  InstrumentationGuard guard;
+  count("test.off");
+  observe_us("test.off_lat", 42);
+  const auto snapshot = metrics_snapshot();
+  EXPECT_EQ(snapshot.counter("test.off"), nullptr);
+  EXPECT_EQ(snapshot.histogram("test.off_lat"), nullptr);
+}
+
+TEST(Metrics, SpansFeedDottedHistogramsWhenMetricsOn) {
+  InstrumentationGuard guard;
+  set_metrics_enabled(true);  // tracing stays OFF: metrics alone suffice
+  {
+    TRACE_SPAN("stage", "static");
+  }
+  const auto snapshot = metrics_snapshot();
+  const auto* h = snapshot.histogram("stage.static");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->observations, 1u);
+  EXPECT_TRUE(trace_collect().empty());  // no trace buffer touched
+}
+
+TEST(Metrics, SnapshotIsNameSorted) {
+  InstrumentationGuard guard;
+  set_metrics_enabled(true);
+  count("zeta");
+  count("alpha");
+  count("mid");
+  const auto snapshot = metrics_snapshot();
+  for (std::size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+}
+
+TEST(Metrics, LatencyTableFiltersByPrefix) {
+  InstrumentationGuard guard;
+  set_metrics_enabled(true);
+  observe_us("stage.static", 500);
+  observe_us("other.thing", 700);
+  const auto snapshot = metrics_snapshot();
+  constexpr std::string_view kPrefixes[] = {"stage."};
+  const auto table = format_latency_table(snapshot, kPrefixes);
+  EXPECT_NE(table.find("stage.static"), std::string::npos);
+  EXPECT_EQ(table.find("other.thing"), std::string::npos);
+  const auto all = format_latency_table(snapshot);
+  EXPECT_NE(all.find("other.thing"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Checked numeric parsing (the CLI/env hardening satellites)
+// ---------------------------------------------------------------------------
+
+TEST(ParseU64, AcceptsPlainIntegers) {
+  EXPECT_EQ(parse_u64("0").value(), 0u);
+  EXPECT_EQ(parse_u64("42").value(), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615").value(), ~std::uint64_t{0});
+}
+
+TEST(ParseU64, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_u64("").ok());
+  EXPECT_FALSE(parse_u64("abc").ok());
+  EXPECT_FALSE(parse_u64("4x").ok());          // trailing garbage
+  EXPECT_FALSE(parse_u64("1 ").ok());          // trailing space
+  EXPECT_FALSE(parse_u64(" 1").ok());          // leading space
+  EXPECT_FALSE(parse_u64("-1").ok());          // strtoull would wrap this
+  EXPECT_FALSE(parse_u64("+1").ok());
+  EXPECT_FALSE(parse_u64("18446744073709551616").ok());  // overflow
+  EXPECT_FALSE(parse_u64("0x10").ok());        // base 10 only
+}
+
+TEST(ParseDouble, AcceptsFiniteValues) {
+  EXPECT_DOUBLE_EQ(parse_double("0.02").value(), 0.02);
+  EXPECT_DOUBLE_EQ(parse_double("-3.5").value(), -3.5);
+  EXPECT_DOUBLE_EQ(parse_double("1e3").value(), 1000.0);
+}
+
+TEST(ParseDouble, RejectsMalformedAndNonFinite) {
+  EXPECT_FALSE(parse_double("").ok());
+  EXPECT_FALSE(parse_double("abc").ok());
+  EXPECT_FALSE(parse_double("1.5x").ok());
+  EXPECT_FALSE(parse_double("1e999").ok());  // overflows to inf
+  EXPECT_FALSE(parse_double("nan").ok());
+  EXPECT_FALSE(parse_double("inf").ok());
+}
+
+TEST(ParseU64List, ParsesToleratingEmptyFields) {
+  const auto list = parse_u64_list("1,2,8");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value(), (std::vector<std::uint64_t>{1, 2, 8}));
+  // Trailing comma and doubled delimiters are tolerated.
+  EXPECT_EQ(parse_u64_list("1,2,").value(), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(parse_u64_list("1,,2").value(), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(ParseU64List, RejectsBadElementsAndEmptyLists) {
+  EXPECT_FALSE(parse_u64_list("").ok());
+  EXPECT_FALSE(parse_u64_list(",").ok());
+  EXPECT_FALSE(parse_u64_list("1,2x,3").ok());
+  EXPECT_FALSE(parse_u64_list("1,-2").ok());
+}
+
+}  // namespace
+}  // namespace dydroid::support

@@ -21,12 +21,16 @@
 //
 //   dydroid survey [--scale S] [--seed N] [--faults PLAN] [--budget MS]
 //               [--retry] [--journal PATH | --resume PATH] [--fsync]
+//               [--trace OUT.json] [--metrics] [--top K]
 //       Generate a corpus and print the Section-V style summary. With a
 //       journal, every finished app is appended to a crash-safe
 //       write-ahead log (docs/CHECKPOINT.md); SIGINT/SIGTERM triggers a
 //       graceful stop (in-flight apps finish, the journal is sealed) and
 //       a killed or interrupted run resumes with --resume PATH,
-//       re-running only the missing apps.
+//       re-running only the missing apps. --trace writes a Chrome
+//       trace_event JSON (chrome://tracing / Perfetto) with one span per
+//       (app, stage, attempt); --metrics appends the per-stage latency
+//       table and the top-K slowest apps (docs/OBSERVABILITY.md).
 //
 //   dydroid faultcheck [--scale S] [--jobs 1,2,8] [--fraction F]
 //               [--no-corruption]
@@ -34,9 +38,11 @@
 //       every injection site armed in turn must move each app only into
 //       its predicted Table II bucket, byte-identical across worker
 //       counts. Exit status 1 if any prediction fails.
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -54,6 +60,8 @@
 #include "obfuscation/packer.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
+#include "support/strings.hpp"
+#include "support/trace.hpp"
 
 using namespace dydroid;
 
@@ -107,6 +115,109 @@ Args parse(int argc, char** argv, int first,
     }
   }
   return args;
+}
+
+// --- checked numeric flags --------------------------------------------------
+// Every numeric CLI flag goes through these. A malformed value ("--seed
+// abc", "--jobs -1", "--scale 1e999", "--jobs 4x") prints a usage error
+// and exits 2 — never an uncaught std::invalid_argument/out_of_range from
+// a bare std::stoull/std::stod.
+
+std::uint64_t parse_u64_flag(const char* cmd, const char* flag,
+                             const std::string& text) {
+  const auto parsed = support::parse_u64(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: bad --%s value %s\n", cmd, flag,
+                 parsed.error().c_str());
+    std::exit(2);
+  }
+  return parsed.value();
+}
+
+double parse_double_flag(const char* cmd, const char* flag,
+                         const std::string& text) {
+  const auto parsed = support::parse_double(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: bad --%s value %s\n", cmd, flag,
+                 parsed.error().c_str());
+    std::exit(2);
+  }
+  return parsed.value();
+}
+
+// --- observability plumbing (docs/OBSERVABILITY.md) -------------------------
+
+/// Arm tracing/metrics from --trace/--metrics. Returns the trace path (""
+/// = tracing off). Call before the run; finish with report_observability.
+std::string configure_observability(const Args& args) {
+  const std::string trace_path =
+      args.flag("trace") ? args.value("trace", "") : std::string();
+  if (!trace_path.empty()) support::set_trace_enabled(true);
+  if (args.flag("metrics")) {
+    support::set_metrics_enabled(true);
+    support::metrics_reset();
+  }
+  return trace_path;
+}
+
+/// Write the Chrome trace (if armed) and print the per-stage latency table
+/// + top-K slowest apps (if --metrics) to `out`.
+int report_observability(const char* cmd, const Args& args,
+                         const std::string& trace_path,
+                         const driver::CorpusResult& result, std::FILE* out) {
+  if (!trace_path.empty()) {
+    support::set_trace_enabled(false);  // freeze the buffers before export
+    const auto status = support::trace_write_chrome_json(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", cmd, status.error().c_str());
+      return 1;
+    }
+    const auto dropped = support::trace_dropped();
+    std::fprintf(out, "  trace: %s (%zu spans%s)\n", trace_path.c_str(),
+                 support::trace_collect().size(),
+                 dropped > 0
+                     ? support::format(", %llu dropped",
+                                       static_cast<unsigned long long>(dropped))
+                           .c_str()
+                     : "");
+  }
+  if (args.flag("metrics")) {
+    const auto snapshot = support::metrics_snapshot();
+    static constexpr std::string_view kPrefixes[] = {"stage.", "phase.",
+                                                     "runner.", "journal."};
+    std::fprintf(out, "%s",
+                 support::format_latency_table(snapshot, kPrefixes).c_str());
+    for (const auto& counter : snapshot.counters) {
+      std::fprintf(out, "  counter %-22s %llu\n", counter.name.c_str(),
+                   static_cast<unsigned long long>(counter.value));
+    }
+    // Top-K slowest apps: where the corpus wall time actually went.
+    const std::uint64_t top_k =
+        parse_u64_flag(cmd, "top", args.value("top", "10"));
+    std::vector<const driver::AppOutcome*> slowest;
+    std::vector<std::size_t> indices(result.outcomes.size());
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) indices[i] = i;
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      const double wa = result.outcomes[a].wall_ms;
+      const double wb = result.outcomes[b].wall_ms;
+      return wa != wb ? wa > wb : a < b;  // deterministic tie-break
+    });
+    std::fprintf(out, "  top %zu slowest apps:\n",
+                 std::min<std::size_t>(top_k, indices.size()));
+    for (std::size_t rank = 0;
+         rank < indices.size() && rank < static_cast<std::size_t>(top_k);
+         ++rank) {
+      const auto& outcome = result.outcomes[indices[rank]];
+      if (!outcome.completed) continue;
+      std::fprintf(
+          out, "    #%-6zu %-32s %9.2f ms  attempts=%u%s%s\n", indices[rank],
+          outcome.report.package.empty() ? "?" : outcome.report.package.c_str(),
+          outcome.wall_ms, outcome.attempts,
+          outcome.timed_out ? " timed-out" : "",
+          outcome.quarantined ? " quarantined" : "");
+    }
+  }
+  return 0;
 }
 
 // --- crash-safe journaling plumbing (docs/CHECKPOINT.md) --------------------
@@ -166,7 +277,7 @@ int cmd_gen(const Args& args) {
                     : appgen::VulnKind::DexExternalStorage;
     spec.min_sdk = 16;
   }
-  support::Rng rng(std::stoull(args.value("seed", "1")));
+  support::Rng rng(parse_u64_flag("gen", "seed", args.value("seed", "1")));
   const auto app = appgen::build_app(spec, rng);
   write_file(args.positional[0], app.apk);
   std::printf("wrote %s (%zu bytes, package %s)\n",
@@ -235,7 +346,8 @@ int cmd_analyze(const Args& args) {
     }
   }
   options.detector = &detector;
-  const std::uint64_t seed = std::stoull(args.value("seed", "1"));
+  const std::uint64_t seed =
+      parse_u64_flag("analyze", "seed", args.value("seed", "1"));
   driver::RunnerConfig runner_config;
   const std::string journal_path = configure_journal(args, runner_config);
   core::DyDroid pipeline(std::move(options));
@@ -308,7 +420,7 @@ int cmd_unpack(const Args& args) {
   }
   const auto result = core::unpack_packed_app(
       read_file(args.positional[0]),
-      std::stoull(args.value("seed", "1")));
+      parse_u64_flag("unpack", "seed", args.value("seed", "1")));
   if (!result.ok()) {
     std::fprintf(stderr, "unpack failed: %s\n", result.error().c_str());
     return 1;
@@ -323,8 +435,8 @@ int cmd_unpack(const Args& args) {
 int cmd_survey(const Args& args) {
   support::set_log_level(support::LogLevel::Error);
   appgen::CorpusConfig config;
-  config.scale = std::stod(args.value("scale", "0.02"));
-  config.seed = std::stoull(args.value("seed", "20161101"));
+  config.scale = parse_double_flag("survey", "scale", args.value("scale", "0.02"));
+  config.seed = parse_u64_flag("survey", "seed", args.value("seed", "20161101"));
   const auto corpus = appgen::generate_corpus(config);
   malware::DroidNative detector(0.9);
   {
@@ -353,14 +465,17 @@ int cmd_survey(const Args& args) {
     options.faults = &faults;
   }
   if (args.flag("budget")) {
-    options.max_app_wall_ms = std::stod(args.value("budget", "0"));
+    options.max_app_wall_ms =
+        parse_double_flag("survey", "budget", args.value("budget", "0"));
   }
   options.retry_on_crash = args.flag("retry");
   const core::DyDroid pipeline(std::move(options));
   driver::RunnerConfig runner_config;
   runner_config.seed_base = 1;  // app N runs with seed 1 + N
-  runner_config.jobs = std::stoull(args.value("jobs", "0"));
+  runner_config.jobs = static_cast<std::size_t>(
+      parse_u64_flag("survey", "jobs", args.value("jobs", "0")));
   const std::string journal_path = configure_journal(args, runner_config);
+  const std::string trace_path = configure_observability(args);
   const driver::CorpusRunner runner(pipeline, runner_config);
   driver::CorpusResult result;
   try {
@@ -399,6 +514,11 @@ int cmd_survey(const Args& args) {
               result.wall_ms > 0
                   ? 1000.0 * static_cast<double>(stats.apps) / result.wall_ms
                   : 0.0);
+  if (const int rc = report_observability("survey", args, trace_path, result,
+                                          stdout);
+      rc != 0) {
+    return rc;
+  }
   if (result.interrupted) {
     std::fprintf(stderr,
                  "survey: interrupted: %zu/%zu apps completed and journaled\n"
@@ -414,25 +534,24 @@ int cmd_survey(const Args& args) {
 
 int cmd_faultcheck(const Args& args) {
   driver::FaultCheckOptions options;
-  options.scale = std::stod(args.value("scale", "0.0035"));
-  options.corpus_seed = std::stoull(args.value("seed", "20161101"));
-  options.corruption_fraction = std::stod(args.value("fraction", "0.35"));
+  options.scale =
+      parse_double_flag("faultcheck", "scale", args.value("scale", "0.0035"));
+  options.corpus_seed =
+      parse_u64_flag("faultcheck", "seed", args.value("seed", "20161101"));
+  options.corruption_fraction = parse_double_flag(
+      "faultcheck", "fraction", args.value("fraction", "0.35"));
   options.check_corruption = !args.flag("no-corruption");
   if (args.flag("jobs")) {
-    options.worker_counts.clear();
-    const auto list = args.value("jobs", "");
-    std::size_t pos = 0;
-    while (pos < list.size()) {
-      auto comma = list.find(',', pos);
-      if (comma == std::string::npos) comma = list.size();
-      const auto tok = list.substr(pos, comma - pos);
-      if (!tok.empty()) options.worker_counts.push_back(std::stoull(tok));
-      pos = comma + 1;
-    }
-    if (options.worker_counts.empty()) {
-      std::fprintf(stderr, "faultcheck: --jobs needs a comma list, e.g. 1,2,8\n");
+    // Comma list with a tolerated trailing comma ("1,2,8,"), but a
+    // malformed element ("4x") or an empty list is a usage error.
+    const auto list = support::parse_u64_list(args.value("jobs", ""));
+    if (!list.ok()) {
+      std::fprintf(stderr,
+                   "faultcheck: bad --jobs list %s (want e.g. 1,2,8)\n",
+                   list.error().c_str());
       return 2;
     }
+    options.worker_counts.assign(list.value().begin(), list.value().end());
   }
   const auto report = driver::run_fault_matrix(options);
   std::printf("%s", driver::format_fault_check(report).c_str());
@@ -456,9 +575,13 @@ void usage() {
       "  survey [--scale S] [--seed N] [--jobs J] [--faults PLAN]\n"
       "      [--budget MS] [--retry]\n"
       "      [--journal PATH | --resume PATH] [--fsync]\n"
+      "      [--trace OUT.json] [--metrics] [--top K]\n"
       "  faultcheck [--scale S] [--seed N] [--jobs 1,2,8] [--fraction F]\n"
       "      [--no-corruption]\n"
       "PLAN grammar (docs/FAULTS.md): site=always|never|nth:<N>|p:<P>,...\n"
+      "Observability (docs/OBSERVABILITY.md): --trace writes a Chrome\n"
+      "trace_event JSON; --metrics prints the per-stage latency table and\n"
+      "the top-K slowest apps.\n"
       "Crash safety (docs/CHECKPOINT.md): --journal writes a CRC-framed\n"
       "write-ahead outcome log; a killed or interrupted run resumes with\n"
       "--resume PATH, re-running only the missing apps.\n");
@@ -474,7 +597,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const std::set<std::string> value_opts = {
       "pkg", "category", "seed", "malware", "vuln", "scale", "companion",
-      "jobs", "faults", "budget", "fraction", "journal", "resume"};
+      "jobs", "faults", "budget", "fraction", "journal", "resume",
+      "trace", "top"};
   const auto args = parse(argc, argv, 2, value_opts);
   try {
     if (cmd == "gen") return cmd_gen(args);

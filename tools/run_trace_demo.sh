@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Observability demo (docs/OBSERVABILITY.md): run a small corpus survey with
+# tracing + metrics armed, sanity-check the Chrome trace_event JSON, and
+# print where to load it.
+#
+#   tools/run_trace_demo.sh [scale] [seed] [jobs] [out.json]
+#
+# Defaults: --scale 0.01, --seed 20161101, --jobs 2, trace written next to a
+# temp summary in a scratch dir unless an output path is given. The dydroid
+# binary is taken from $DYDROID_CLI or ./build/tools/dydroid. Exit status 1
+# if the trace file is missing or contains no span events.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+scale="${1:-0.01}"
+seed="${2:-20161101}"
+jobs="${3:-2}"
+out="${4:-}"
+cli="${DYDROID_CLI:-$repo/build/tools/dydroid}"
+
+if [[ ! -x "$cli" ]]; then
+  echo "run_trace_demo: dydroid binary not found at $cli" >&2
+  echo "  build it first (cmake --build build) or set DYDROID_CLI" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/dydroid_trace_demo.XXXXXX")"
+if [[ -z "$out" ]]; then
+  out="$workdir/trace.json"
+  keep=0
+else
+  keep=1
+fi
+trap 'rm -rf "$workdir"' EXIT
+
+echo "==== traced survey (scale=$scale seed=$seed jobs=$jobs) ===="
+"$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" \
+  --trace "$out" --metrics --top 5
+
+if [[ ! -s "$out" ]]; then
+  echo "run_trace_demo: no trace written to $out" >&2
+  exit 1
+fi
+
+spans="$( (grep -o '"ph":"X"' "$out" || true) | wc -l | tr -d ' ')"
+if [[ "$spans" -lt 1 ]]; then
+  echo "run_trace_demo: trace $out contains no complete events" >&2
+  exit 1
+fi
+for cat in stage phase runner; do
+  if ! grep -q "\"cat\":\"$cat\"" "$out"; then
+    echo "run_trace_demo: trace $out has no '$cat' spans" >&2
+    exit 1
+  fi
+done
+
+echo
+echo "trace demo passed: $spans spans in $out"
+if [[ "$keep" -eq 1 ]]; then
+  echo "load it in chrome://tracing or https://ui.perfetto.dev"
+else
+  echo "(scratch trace discarded; pass an output path to keep it)"
+fi
