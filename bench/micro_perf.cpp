@@ -86,6 +86,37 @@ void BM_ApkSerializeRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_ApkSerializeRoundTrip);
 
+// Parse-once container handling (docs/FORMATS.md, "Buffer ownership &
+// zero-copy views"). Arg 0 replays the legacy per-stage churn — a lenient
+// parse for decompilation, a strict re-parse for rewrite validation plus a
+// repack serialize, and a third parse for the install. Arg 1 is the current
+// pipeline shape: one ApkImage::parse whose entries are zero-copy slices,
+// a CRC-index walk standing in for strict validation, and a Blob view for
+// the install. The delta is the redundant container work removed per app.
+void BM_ParseOnce(benchmark::State& state) {
+  const auto app = make_ad_app();
+  const bool legacy = state.range(0) == 0;
+  for (auto _ : state) {
+    if (legacy) {
+      const auto decompiled = apk::ApkFile::deserialize(app.apk);
+      const auto validated =
+          apk::ApkFile::deserialize(app.apk, apk::ParseMode::kStrict);
+      benchmark::DoNotOptimize(validated.serialize());  // repack copy
+      benchmark::DoNotOptimize(apk::ApkFile::deserialize(app.apk));
+      benchmark::DoNotOptimize(decompiled.entry_names());
+    } else {
+      const auto image = apk::ApkImage::parse(app.apk);
+      benchmark::DoNotOptimize(image.file().first_crc_mismatch());
+      benchmark::DoNotOptimize(image.bytes().span());
+      benchmark::DoNotOptimize(image.file().entry_names());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(app.apk.size()));
+  state.SetLabel(legacy ? "reparse-per-stage" : "parse-once");
+}
+BENCHMARK(BM_ParseOnce)->Arg(0)->Arg(1);
+
 void BM_Decompile(benchmark::State& state) {
   const auto app = make_ad_app();
   for (auto _ : state) {
@@ -346,6 +377,20 @@ void emit_corpus_bench_json() {
   }
 
   const auto apps = static_cast<double>(corpus.apps.size());
+  // Parse-once accounting from the instrumented pass: container parses and
+  // buffer-duplicating copies per analyzed app. The pre-refactor pipeline
+  // re-deserialized each container ≥3× per attempt; the guard tests pin
+  // parses_per_app at 1 on the happy path.
+  const auto* parse_counter = metrics.counter("pipeline.parses");
+  const auto* copy_counter = metrics.counter("pipeline.bytes_copied");
+  const double parses_per_app =
+      apps > 0 && parse_counter != nullptr
+          ? static_cast<double>(parse_counter->value) / apps
+          : 0.0;
+  const double copied_per_app =
+      apps > 0 && copy_counter != nullptr
+          ? static_cast<double>(copy_counter->value) / apps
+          : 0.0;
   const double serial_aps =
       serial.wall_ms > 0 ? 1000.0 * apps / serial.wall_ms : 0.0;
   const double parallel_aps =
@@ -370,6 +415,8 @@ void emit_corpus_bench_json() {
                " \"overhead_pct\": %.2f},\n"
                "  \"metrics\": {\"overhead_pct\": %.2f, \"stages\": [%s\n"
                "  ]},\n"
+               "  \"parse_once\": {\"parses_per_app\": %.3f,"
+               " \"bytes_copied_per_app\": %.0f},\n"
                "  \"speedup\": %.3f,\n"
                "  \"reports_identical\": %s\n"
                "}\n",
@@ -377,7 +424,8 @@ void emit_corpus_bench_json() {
                static_cast<std::size_t>(std::thread::hardware_concurrency()),
                serial.wall_ms, serial_aps, parallel.threads, parallel.wall_ms,
                parallel_aps, journaled.wall_ms, journal_overhead_pct,
-               metrics_overhead_pct, metrics_json.c_str(),
+               metrics_overhead_pct, metrics_json.c_str(), parses_per_app,
+               copied_per_app,
                parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
                identical ? "true" : "false");
   std::fclose(f);

@@ -1,18 +1,19 @@
 #include "analysis/decompiler.hpp"
 
 #include "dex/disassembler.hpp"
+#include "support/blob.hpp"
 
 namespace dydroid::analysis {
 
 using support::Result;
 
-Result<Ir> decompile(std::span<const std::uint8_t> apk_bytes) {
+Result<Ir> decompile(const apk::ApkImage& image) {
   Ir ir;
   try {
-    ir.apk = apk::ApkFile::deserialize(apk_bytes, apk::ParseMode::kLenient);
-    ir.manifest = ir.apk.read_manifest();
-    ir.entries = ir.apk.entry_names();
-    ir.classes_dex = ir.apk.read_classes_dex();
+    ir.image = image;
+    ir.manifest = image.file().read_manifest();
+    ir.entries = image.file().entry_names();
+    ir.classes_dex = image.file().read_classes_dex();
     if (ir.classes_dex.has_value()) {
       // Disassembly applies the tooling-grade strictness (debug_info parse,
       // full validation) that anti-decompilation packers target.
@@ -22,6 +23,17 @@ Result<Ir> decompile(std::span<const std::uint8_t> apk_bytes) {
     return Result<Ir>::failure(std::string("decompile: ") + e.what());
   }
   return ir;
+}
+
+Result<Ir> decompile(std::span<const std::uint8_t> apk_bytes) {
+  apk::ApkImage image;
+  try {
+    image = apk::ApkImage::parse(support::Blob::copy_of(apk_bytes),
+                                 apk::ParseMode::kLenient);
+  } catch (const support::ParseError& e) {
+    return Result<Ir>::failure(std::string("decompile: ") + e.what());
+  }
+  return decompile(image);
 }
 
 bool has_local_bytecode_store(const Ir& ir) {

@@ -25,11 +25,16 @@ struct Ir {
   std::optional<dex::DexFile> classes_dex;  // absent if no classes.dex entry
   std::string smali;                        // disassembly text ("" if no dex)
   std::vector<std::string> entries;         // package file table
-  apk::ApkFile apk;                         // lenient-parsed container
+  apk::ApkImage image;                      // shared parse of the container
 };
 
-/// Decompile an APK. Fails (like apktool/baksmali) on malformed containers
-/// and on anti-decompilation-poisoned bytecode.
+/// Decompile an already-parsed APK image (the pipeline path — no re-parse).
+/// Fails (like apktool/baksmali) on malformed manifests/bytecode and on
+/// anti-decompilation-poisoned dex.
+support::Result<Ir> decompile(const apk::ApkImage& image);
+
+/// Decompile from raw bytes: parses the container first (one parse), then
+/// delegates. Kept for callers outside the staged pipeline.
 support::Result<Ir> decompile(std::span<const std::uint8_t> apk_bytes);
 
 /// True if the IR contains a locally packed file whose format can store

@@ -7,6 +7,7 @@
 
 #include <string_view>
 
+#include "apk/apk.hpp"
 #include "support/bytes.hpp"
 #include "support/error.hpp"
 
@@ -16,9 +17,16 @@ namespace dydroid::analysis {
 /// not available to the analyst).
 inline constexpr std::string_view kResignKey = "dydroid-resign";
 
-/// Add `permission` to the app's manifest and repack. Returns the rewritten
-/// APK bytes, or failure when strict unpacking trips an anti-repackaging
-/// trap or the container is malformed.
+/// Add `permission` to the manifest of an already-parsed image and repack.
+/// The strict full re-parse of the old path collapses to a CRC check over
+/// the shared parse's file table — same traps, same error text, no second
+/// deserialize. Returns a fresh image (the one repack that must serialize),
+/// or failure when an anti-repackaging trap or malformed manifest trips it.
+support::Result<apk::ApkImage> rewrite_with_permission(
+    const apk::ApkImage& image, std::string_view permission);
+
+/// Byte-level convenience for callers outside the staged pipeline: strict
+/// parse + rewrite + serialize, exactly the historical contract.
 support::Result<support::Bytes> rewrite_with_permission(
     std::span<const std::uint8_t> apk_bytes, std::string_view permission);
 

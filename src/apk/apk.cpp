@@ -5,27 +5,33 @@
 #include "support/error.hpp"
 #include "support/fault.hpp"
 #include "support/hash.hpp"
+#include "support/trace.hpp"
 
 namespace dydroid::apk {
 
+using support::Blob;
 using support::Bytes;
 using support::ParseError;
 
-void ApkFile::put(std::string_view path, Bytes data) {
+void ApkFile::put(std::string_view path, Blob data) {
   Entry e;
   e.stored_crc = support::crc32(data);
   e.data = std::move(data);
   entries_.insert_or_assign(std::string(path), std::move(e));
 }
 
+void ApkFile::put(std::string_view path, Bytes data) {
+  put(path, Blob::take(std::move(data)));
+}
+
 void ApkFile::put(std::string_view path, std::string_view text) {
-  put(path, support::to_bytes(text));
+  put(path, Blob::of_string(text));
 }
 
 void ApkFile::put_with_bad_crc(std::string_view path, Bytes data) {
   Entry e;
   e.stored_crc = support::crc32(data) ^ 0xdeadbeefu;
-  e.data = std::move(data);
+  e.data = Blob::take(std::move(data));
   entries_.insert_or_assign(std::string(path), std::move(e));
 }
 
@@ -40,10 +46,10 @@ bool ApkFile::contains(std::string_view path) const {
   return entries_.find(path) != entries_.end();
 }
 
-const Bytes* ApkFile::get(std::string_view path) const {
+std::optional<Blob> ApkFile::get(std::string_view path) const {
   const auto it = entries_.find(path);
-  if (it == entries_.end()) return nullptr;
-  return &it->second.data;
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.data;
 }
 
 std::vector<std::string> ApkFile::entry_names() const {
@@ -54,8 +60,8 @@ std::vector<std::string> ApkFile::entry_names() const {
 }
 
 manifest::Manifest ApkFile::read_manifest() const {
-  const auto* data = get(kManifestEntry);
-  if (data == nullptr) throw ParseError("apk: no AndroidManifest.xml");
+  const auto data = get(kManifestEntry);
+  if (!data) throw ParseError("apk: no AndroidManifest.xml");
   return manifest::Manifest::from_text(support::to_string(*data));
 }
 
@@ -64,8 +70,8 @@ void ApkFile::write_manifest(const manifest::Manifest& m) {
 }
 
 std::optional<dex::DexFile> ApkFile::read_classes_dex() const {
-  const auto* data = get(kClassesDexEntry);
-  if (data == nullptr) return std::nullopt;
+  const auto data = get(kClassesDexEntry);
+  if (!data) return std::nullopt;
   return dex::DexFile::deserialize(*data);
 }
 
@@ -95,9 +101,17 @@ bool ApkFile::verify_signature() const {
 }
 
 bool ApkFile::has_crc_trap() const {
-  return std::any_of(entries_.begin(), entries_.end(), [](const auto& kv) {
-    return kv.second.stored_crc != support::crc32(kv.second.data);
-  });
+  return first_crc_mismatch().has_value();
+}
+
+std::optional<std::string> ApkFile::first_crc_mismatch() const {
+  // Table order here equals stream order for any container produced by
+  // serialize(), so the first mismatch matches what a strict re-parse of
+  // the serialized bytes would trip on.
+  for (const auto& [name, entry] : entries_) {
+    if (entry.stored_crc != support::crc32(entry.data)) return name;
+  }
+  return std::nullopt;
 }
 
 Bytes ApkFile::serialize() const {
@@ -114,8 +128,7 @@ Bytes ApkFile::serialize() const {
   return w.take();
 }
 
-ApkFile ApkFile::deserialize(std::span<const std::uint8_t> data,
-                             ParseMode mode) {
+ApkFile ApkFile::deserialize(Blob data, ParseMode mode) {
   // Fault-injection site: a truncated/corrupt container observed in the
   // wild (support::FaultInjector, docs/FAULTS.md).
   if (support::fault_fire(support::FaultSite::kApkDeserialize)) {
@@ -132,7 +145,10 @@ ApkFile ApkFile::deserialize(std::span<const std::uint8_t> data,
     const auto name = r.str();
     Entry e;
     e.stored_crc = r.u32();
-    e.data = r.blob();
+    const auto len = r.u32();
+    const auto off = r.position();
+    r.view(len);  // bounds-check + advance; the bytes stay in `data`
+    e.data = data.slice(off, len);
     if (mode == ParseMode::kStrict &&
         e.stored_crc != support::crc32(e.data)) {
       throw ParseError("apk entry CRC mismatch: " + name);
@@ -140,6 +156,24 @@ ApkFile ApkFile::deserialize(std::span<const std::uint8_t> data,
     apk.entries_.insert_or_assign(name, std::move(e));
   }
   return apk;
+}
+
+ApkFile ApkFile::deserialize(std::span<const std::uint8_t> data,
+                             ParseMode mode) {
+  return deserialize(Blob::copy_of(data), mode);
+}
+
+ApkImage ApkImage::parse(Blob bytes, ParseMode mode) {
+  support::count("pipeline.parses", 1);
+  auto file = std::make_shared<const ApkFile>(ApkFile::deserialize(bytes, mode));
+  return ApkImage(std::move(file), std::move(bytes));
+}
+
+ApkImage ApkImage::from_file(ApkFile file) {
+  auto bytes = Blob::take(file.serialize());
+  support::count("pipeline.bytes_copied", bytes.size());
+  return ApkImage(std::make_shared<const ApkFile>(std::move(file)),
+                  std::move(bytes));
 }
 
 bool looks_like_apk(std::span<const std::uint8_t> data) {

@@ -7,9 +7,17 @@
 // repacker) is strict and throws. Anti-repackaging packers plant a
 // CRC-mismatched trap entry to crash apktool while the app still installs —
 // the paper's Table II "Rewriting failure" rows.
+//
+// Ownership model (docs/FORMATS.md, "Buffer ownership & zero-copy views"):
+// entries are support::Blob views. Parsing a container from a Blob keeps the
+// source buffer alive once and stores every entry as an aliasing slice of it
+// — the file table is an index, not a copy. ApkImage pairs one parsed index
+// with the serialized Blob it views, so downstream layers (rewriter,
+// installer, VM, report codecs) can share a single parse.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -17,6 +25,7 @@
 
 #include "dex/dexfile.hpp"
 #include "manifest/manifest.hpp"
+#include "support/blob.hpp"
 #include "support/bytes.hpp"
 
 namespace dydroid::apk {
@@ -35,6 +44,7 @@ enum class ParseMode {
 class ApkFile {
  public:
   /// Add or replace an entry. The stored CRC is computed from the data.
+  void put(std::string_view path, support::Blob data);
   void put(std::string_view path, support::Bytes data);
   void put(std::string_view path, std::string_view text);
   /// Add an entry whose *stored* CRC deliberately mismatches its data — the
@@ -44,7 +54,9 @@ class ApkFile {
   bool remove(std::string_view path);
 
   [[nodiscard]] bool contains(std::string_view path) const;
-  [[nodiscard]] const support::Bytes* get(std::string_view path) const;
+  /// The entry's bytes as a refcounted view (cheap copy), or nullopt if
+  /// absent. The view stays valid after the ApkFile is destroyed.
+  [[nodiscard]] std::optional<support::Blob> get(std::string_view path) const;
   [[nodiscard]] std::vector<std::string> entry_names() const;
   [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
 
@@ -63,8 +75,17 @@ class ApkFile {
 
   /// True if any entry's stored CRC mismatches its content.
   [[nodiscard]] bool has_crc_trap() const;
+  /// Name of the first entry (in table order) whose stored CRC mismatches
+  /// its content, or nullopt when the container is clean. The cheap
+  /// index-level equivalent of a strict re-parse.
+  [[nodiscard]] std::optional<std::string> first_crc_mismatch() const;
 
   [[nodiscard]] support::Bytes serialize() const;
+  /// Parse from an owned Blob: every entry becomes a zero-copy slice of
+  /// `data`, which stays alive for as long as any entry view does.
+  static ApkFile deserialize(support::Blob data,
+                             ParseMode mode = ParseMode::kLenient);
+  /// Parse from a borrowed span (copies into a fresh buffer first).
   static ApkFile deserialize(std::span<const std::uint8_t> data,
                              ParseMode mode = ParseMode::kLenient);
 
@@ -72,7 +93,7 @@ class ApkFile {
 
  private:
   struct Entry {
-    support::Bytes data;
+    support::Blob data;
     std::uint32_t stored_crc = 0;
   };
   [[nodiscard]] std::uint64_t content_hash() const;
@@ -80,6 +101,38 @@ class ApkFile {
   std::map<std::string, Entry, std::less<>> entries_;
   std::string signer_;
   std::uint64_t signature_ = 0;
+};
+
+/// One APK, parsed once: an immutable parsed index (ApkFile) paired with the
+/// serialized Blob it was parsed from. Copying an ApkImage is two refcount
+/// bumps; every pipeline layer (static analysis, rewriter, installer, VM)
+/// shares the same parse instead of re-deserializing the container.
+class ApkImage {
+ public:
+  /// Invalid image (no parse attached). valid() == false.
+  ApkImage() = default;
+
+  /// Parse `bytes` once and attach the result. This is the pipeline's
+  /// subject-app parse point and feeds the `pipeline.parses` counter.
+  /// Throws ParseError exactly as ApkFile::deserialize would.
+  static ApkImage parse(support::Blob bytes,
+                        ParseMode mode = ParseMode::kLenient);
+  /// Build an image from an already-parsed file by serializing it once
+  /// (the rewriter's repack path).
+  static ApkImage from_file(ApkFile file);
+
+  [[nodiscard]] bool valid() const { return file_ != nullptr; }
+  /// The parsed index. Precondition: valid().
+  [[nodiscard]] const ApkFile& file() const { return *file_; }
+  /// The serialized container the index views.
+  [[nodiscard]] const support::Blob& bytes() const { return bytes_; }
+
+ private:
+  ApkImage(std::shared_ptr<const ApkFile> file, support::Blob bytes)
+      : file_(std::move(file)), bytes_(std::move(bytes)) {}
+
+  std::shared_ptr<const ApkFile> file_;
+  support::Blob bytes_;
 };
 
 /// True if `data` begins with the SimApk magic.

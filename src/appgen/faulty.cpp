@@ -89,7 +89,7 @@ Bytes corrupt_apk(std::span<const std::uint8_t> apk, CorruptionLayer layer,
     }
     case CorruptionLayer::kDex: {
       auto pkg = apk::ApkFile::deserialize(apk);
-      if (const auto* dex = pkg.get(apk::kClassesDexEntry)) {
+      if (const auto dex = pkg.get(apk::kClassesDexEntry)) {
         pkg.put(apk::kClassesDexEntry, truncate_inside(*dex, rng));
       }
       return pkg.serialize();
@@ -114,8 +114,8 @@ FaultyCorpus corrupt_corpus(const Corpus& clean,
     // survive corpus reordering/subsetting unchanged.
     Rng rng(support::hash_combine(config.seed, static_cast<std::uint64_t>(i)));
     if (!rng.chance(config.fraction)) continue;
-    out.corpus.apps[i].apk =
-        corrupt_apk(out.corpus.apps[i].apk, config.layer, rng);
+    out.corpus.apps[i].apk = support::Blob::take(
+        corrupt_apk(out.corpus.apps[i].apk, config.layer, rng));
     out.corrupted.push_back(i);
   }
   return out;

@@ -536,7 +536,8 @@ void add_vuln(Build& b) {
                   benign_native_lib("libCore", "airInit",
                                     "com.adobe.air.native.Core"));
     companion.sign("adobe");
-    b.scenario.companion_apks.push_back(companion.serialize());
+    b.scenario.companion_apks.push_back(
+        support::Blob::take(companion.serialize()));
   }
 }
 
@@ -666,7 +667,7 @@ GeneratedApp build_app(const AppSpec& spec, Rng& rng) {
 
   GeneratedApp out;
   out.spec = spec;
-  out.apk = b.apk.serialize();
+  out.apk = support::Blob::take(b.apk.serialize());
   out.scenario = std::move(b.scenario);
   return out;
 }

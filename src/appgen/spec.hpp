@@ -11,6 +11,7 @@
 
 #include "malware/families.hpp"
 #include "privacy/sources.hpp"
+#include "support/blob.hpp"
 #include "support/bytes.hpp"
 
 namespace dydroid::appgen {
@@ -102,15 +103,16 @@ struct AppSpec {
   [[nodiscard]] bool has_native_malware() const;
 };
 
-/// Device surroundings an app needs at run time.
+/// Device surroundings an app needs at run time. Companion packages are
+/// refcounted Blobs, so copying a Corpus/Scenario never duplicates them.
 struct Scenario {
   std::vector<std::pair<std::string, support::Bytes>> hosted_urls;
-  std::vector<support::Bytes> companion_apks;
+  std::vector<support::Blob> companion_apks;
 };
 
 struct GeneratedApp {
   AppSpec spec;
-  support::Bytes apk;
+  support::Blob apk;  // serialized package (shared, immutable)
   Scenario scenario;
 };
 

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "support/blob.hpp"
 #include "support/bytes.hpp"
 #include "vm/stack_trace.hpp"
 
@@ -36,11 +37,13 @@ struct DclEvent {
   vm::StackTrace trace;
 };
 
-/// A dynamically loaded binary captured by the interceptor.
+/// A dynamically loaded binary captured by the interceptor. `bytes` is a
+/// refcounted snapshot view: VFS files are immutable Blobs replaced whole
+/// on write, so holding the view IS the snapshot — no copy needed.
 struct InterceptedBinary {
   CodeKind kind = CodeKind::Dex;
   std::string path;
-  support::Bytes bytes;
+  support::Blob bytes;
   std::string call_site_class;
   Entity entity = Entity::ThirdParty;
 };

@@ -78,7 +78,7 @@ void CodeInterceptor::on_load(CodeKind kind,
     // Protect the file from deletion/renaming, then snapshot it.
     queue_.insert(path);
     if (snapshotted_.insert(path).second) {
-      if (const auto* bytes = vm_->device().vfs().read_file(path)) {
+      if (const auto bytes = vm_->device().vfs().read_file(path)) {
         // Fault-injection site: the snapshot copy suffers a short write and
         // is discarded — the event is still logged, but the binary is lost
         // to the per-binary analyses (support::FaultInjector).

@@ -91,18 +91,21 @@ StageResult run_stage_guarded(const Stage& stage, AnalysisContext& ctx) {
 
 }  // namespace
 
-AppReport DyDroid::analyze(std::span<const std::uint8_t> apk_bytes,
-                           std::uint64_t seed) const {
+AppReport DyDroid::analyze(support::Blob apk, std::uint64_t seed) const {
   AnalysisRequest request;
-  request.apk_bytes = apk_bytes;
+  request.apk = std::move(apk);
   request.seed = seed;
   return analyze(request);
 }
 
+AppReport DyDroid::analyze(std::span<const std::uint8_t> apk_bytes,
+                           std::uint64_t seed) const {
+  return analyze(support::Blob::copy_of(apk_bytes), seed);
+}
+
 AppReport DyDroid::analyze(const AnalysisRequest& request) const {
   AnalysisContext ctx;
-  ctx.apk_bytes = request.apk_bytes;
-  ctx.bytes_to_run = request.apk_bytes;
+  ctx.apk = request.apk;
   ctx.seed = request.seed;
   ctx.options = &options_;
   ctx.scenario_override = request.scenario_setup;

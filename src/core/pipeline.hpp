@@ -21,6 +21,7 @@
 #include "malware/droidnative.hpp"
 #include "obfuscation/detector.hpp"
 #include "privacy/flowdroid.hpp"
+#include "support/blob.hpp"
 #include "support/fault.hpp"
 
 namespace dydroid::core {
@@ -122,7 +123,10 @@ struct AppReport {
 /// scenario is taken by pointer so enqueueing a corpus never copies
 /// closures; the referee must outlive the analyze() call.
 struct AnalysisRequest {
-  std::span<const std::uint8_t> apk_bytes;
+  /// The APK's serialized bytes as a refcounted view: enqueueing a corpus
+  /// never copies package contents, and the whole analysis shares this one
+  /// buffer (parsed once by StaticStage).
+  support::Blob apk;
   std::uint64_t seed = 0;
   const std::function<void(os::Device&)>* scenario_setup = nullptr;
   /// Retry ordinal (0 = first attempt). Salts the fault session so
@@ -144,6 +148,8 @@ class DyDroid {
   /// Analyze one APK end to end. `seed` drives the fuzzing determinism.
   /// Const and thread-safe: all mutable state lives in the per-call
   /// AnalysisContext, so one DyDroid serves many worker threads.
+  AppReport analyze(support::Blob apk, std::uint64_t seed) const;
+  /// Borrowed-span convenience: copies once into a fresh Blob.
   AppReport analyze(std::span<const std::uint8_t> apk_bytes,
                     std::uint64_t seed) const;
   AppReport analyze(const AnalysisRequest& request) const;

@@ -9,13 +9,19 @@ namespace dydroid::core {
 // ---- StaticStage -----------------------------------------------------------
 
 StageResult StaticStage::run(AnalysisContext& ctx) const {
-  ctx.bytes_to_run = ctx.apk_bytes;
-
   auto ir = [&] {
     // Nested "phase" span: decompilation dominates the static stage; the
     // trace shows it as a child of the enclosing "stage"/"static" span.
+    // This is the pipeline's single container parse: the resulting image
+    // is shared by every later stage (rewrite, install, VM).
     TRACE_SPAN("phase", "static.decompile");
-    return analysis::decompile(ctx.apk_bytes);
+    try {
+      ctx.image = apk::ApkImage::parse(ctx.apk, apk::ParseMode::kLenient);
+    } catch (const support::ParseError& e) {
+      return support::Result<analysis::Ir>::failure(
+          std::string("decompile: ") + e.what());
+    }
+    return analysis::decompile(ctx.image);
   }();
   if (!ir.ok()) {
     ctx.report.decompile_failed = true;
@@ -48,15 +54,27 @@ StageResult RewriteStage::run(AnalysisContext& ctx) const {
   if (ctx.ir->manifest.has_permission(manifest::kWriteExternalStorage)) {
     return StageAction::kContinue;
   }
+  // Custom stage lists may reach here without StaticStage's parse; fall
+  // back to parsing the input blob once so the rewriter always gets an
+  // image (never a second parse on the canonical path).
+  apk::ApkImage image = ctx.image;
+  if (!image.valid()) {
+    try {
+      image = apk::ApkImage::parse(ctx.apk, apk::ParseMode::kLenient);
+    } catch (const support::ParseError& e) {
+      ctx.report.status = DynamicStatus::kRewritingFailure;
+      ctx.report.crash_message = std::string("rewrite: ") + e.what();
+      return StageAction::kStop;
+    }
+  }
   auto result = analysis::rewrite_with_permission(
-      ctx.apk_bytes, manifest::kWriteExternalStorage);
+      image, manifest::kWriteExternalStorage);
   if (!result.ok()) {
     ctx.report.status = DynamicStatus::kRewritingFailure;
     ctx.report.crash_message = result.error();
     return StageAction::kStop;
   }
-  ctx.rewritten = std::move(result).take();
-  ctx.bytes_to_run = ctx.rewritten;
+  ctx.run_image = std::move(result).take();
   return StageAction::kContinue;
 }
 
@@ -71,23 +89,26 @@ StageResult DynamicStage::run(AnalysisContext& ctx) const {
     ctx.options->runtime.apply(device->services());
   }
 
-  // Container parsing and manifest extraction are both routed through the
-  // stage status: a malformed (e.g. packer-damaged) container is a per-app
-  // crash outcome, never an exception escaping to the corpus driver.
-  apk::ApkFile apk;
+  // The image to exercise: the rewritten one if RewriteStage produced it,
+  // otherwise StaticStage's shared parse. Custom stage lists that skip both
+  // fall back to parsing the input blob here — still routed through the
+  // stage status, so a malformed (e.g. packer-damaged) container is a
+  // per-app crash outcome, never an exception escaping the corpus driver.
+  apk::ApkImage img = ctx.run_image.valid() ? ctx.run_image : ctx.image;
   manifest::Manifest man;
   {
     TRACE_SPAN("phase", "dynamic.install");
     try {
-      apk =
-          apk::ApkFile::deserialize(ctx.bytes_to_run, apk::ParseMode::kLenient);
-      man = apk.read_manifest();
+      if (!img.valid()) {
+        img = apk::ApkImage::parse(ctx.apk, apk::ParseMode::kLenient);
+      }
+      man = img.file().read_manifest();
     } catch (const support::ParseError& e) {
       ctx.report.status = DynamicStatus::kCrash;
       ctx.report.crash_message = e.what();
       return StageAction::kStop;
     }
-    if (const auto installed = device->install(apk); !installed) {
+    if (const auto installed = device->install(img); !installed) {
       ctx.report.status = DynamicStatus::kCrash;
       ctx.report.crash_message = installed.error();
       return StageAction::kStop;
@@ -97,7 +118,7 @@ StageResult DynamicStage::run(AnalysisContext& ctx) const {
   support::Rng rng(ctx.seed);
   {
     TRACE_SPAN("phase", "dynamic.fuzz");
-    ctx.run = run_app(*device, apk, man, rng, ctx.options->engine);
+    ctx.run = run_app(*device, img.file(), man, rng, ctx.options->engine);
   }
   auto& run = *ctx.run;
   ctx.report.storage_recovered = run.storage_recovered;

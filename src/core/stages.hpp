@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "analysis/decompiler.hpp"
+#include "apk/apk.hpp"
 #include "core/engine.hpp"
 #include "core/pipeline.hpp"
+#include "support/blob.hpp"
 #include "support/error.hpp"
 
 namespace dydroid::core {
@@ -28,18 +30,21 @@ namespace dydroid::core {
 /// `DyDroid::analyze` const-callable and safe to run from many threads.
 struct AnalysisContext {
   // Inputs (fixed for the lifetime of the analysis).
-  std::span<const std::uint8_t> apk_bytes;
+  support::Blob apk;  // the subject APK's serialized bytes (refcounted view)
   std::uint64_t seed = 0;
   const PipelineOptions* options = nullptr;
   /// Optional per-app scenario override (corpus jobs); when null the shared
   /// options->scenario_setup applies.
   const std::function<void(os::Device&)>* scenario_override = nullptr;
 
-  // Cross-stage intermediates.
-  std::optional<analysis::Ir> ir;          // StaticStage → Rewrite/Dynamic
-  support::Bytes rewritten;                // RewriteStage output (if any)
-  std::span<const std::uint8_t> bytes_to_run;  // what DynamicStage installs
-  std::optional<RunResult> run;            // DynamicStage → PerBinaryStage
+  // Cross-stage intermediates. The container is parsed ONCE per attempt
+  // (`image`, by StaticStage); every later stage shares that parse. A
+  // rewrite produces `run_image` (the only repack that serializes); when it
+  // is invalid, DynamicStage installs `image` directly.
+  std::optional<analysis::Ir> ir;  // StaticStage → Rewrite/Dynamic
+  apk::ApkImage image;             // the one shared parse of `apk`
+  apk::ApkImage run_image;         // rewritten image (invalid = run `image`)
+  std::optional<RunResult> run;    // DynamicStage → PerBinaryStage
 
   // Output.
   AppReport report;

@@ -231,7 +231,7 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
     outcome.attempts = attempt + 1;
 
     core::AnalysisRequest request;
-    request.apk_bytes = job.apk;
+    request.apk = job.apk;
     request.seed = outcome.seed;
     request.attempt = attempt;
     request.scenario_setup = job.scenario ? &job.scenario : nullptr;

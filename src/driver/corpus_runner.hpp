@@ -45,10 +45,11 @@ inline constexpr std::uint64_t kDefaultSeedBase = 0xBE9C0000ull;
   return base + static_cast<std::uint64_t>(index);
 }
 
-/// One unit of corpus work. The bytes and scenario are referenced, not
-/// copied — the corpus must outlive the run() call.
+/// One unit of corpus work. The APK is a refcounted Blob view (enqueueing
+/// never copies package bytes); the scenario closure is referenced, so the
+/// corpus must outlive the run() call.
 struct AppJob {
-  std::span<const std::uint8_t> apk;
+  support::Blob apk;
   /// Per-app device preparation (hosted payloads, companion apps, files).
   std::function<void(os::Device&)> scenario;
   /// Explicit seed override. When unset, the seed derives from the job's

@@ -84,8 +84,8 @@ apk::ApkFile pack(const apk::ApkFile& original, const PackerOptions& options) {
     throw support::ParseError("packer: key length must divide 4096");
   }
   auto man = original.read_manifest();
-  const auto* orig_dex = original.get(apk::kClassesDexEntry);
-  if (orig_dex == nullptr) {
+  const auto orig_dex = original.get(apk::kClassesDexEntry);
+  if (!orig_dex.has_value()) {
     throw support::ParseError("packer: no classes.dex to protect");
   }
 

@@ -32,7 +32,11 @@ class Device {
   [[nodiscard]] PackageManager& package_manager() { return pm_; }
   [[nodiscard]] const PackageManager& package_manager() const { return pm_; }
 
-  /// Install an app package.
+  /// Install an app package (shared parsed image — no re-serialize).
+  support::Status install(const apk::ApkImage& image) {
+    return pm_.install(image);
+  }
+  /// Install from a parsed file only (serializes once).
   support::Status install(const apk::ApkFile& apk) { return pm_.install(apk); }
 
  private:

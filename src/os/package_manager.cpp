@@ -9,6 +9,11 @@ namespace dydroid::os {
 using support::Status;
 
 Status PackageManager::install(const apk::ApkFile& apk) {
+  // No shared image available: serialize once and install that.
+  return install(apk::ApkImage::from_file(apk));
+}
+
+Status PackageManager::install(const apk::ApkImage& image) {
   // Fault-injection site: install timeout / installer failure
   // (support::FaultInjector).
   if (support::fault_fire(support::FaultSite::kDeviceInstall)) {
@@ -16,6 +21,7 @@ Status PackageManager::install(const apk::ApkFile& apk) {
         support::fault_message(support::FaultSite::kDeviceInstall) +
         ": install timed out");
   }
+  const apk::ApkFile& apk = image.file();
   manifest::Manifest m;
   try {
     m = apk.read_manifest();
@@ -30,8 +36,10 @@ Status PackageManager::install(const apk::ApkFile& apk) {
   pkg.signer = apk.signer();
   pkg.apk_path = std::string(kAppDir) + "/" + m.package + ".apk";
 
+  // The image's serialized Blob goes straight into the VFS — a refcount
+  // bump, not a re-serialize.
   const auto sys = Principal::system();
-  if (auto s = vfs_->write_file(sys, pkg.apk_path, apk.serialize()); !s) {
+  if (auto s = vfs_->write_file(sys, pkg.apk_path, image.bytes()); !s) {
     return s;
   }
   // Private data dir marker so the dir "exists".

@@ -27,9 +27,12 @@ class PackageManager {
  public:
   explicit PackageManager(Vfs* vfs) : vfs_(vfs) {}
 
-  /// Install an APK: registers the package, stores the APK bytes under
-  /// /data/app, creates the app's private data dir marker, and extracts
-  /// bundled native libraries into /data/data/<pkg>/lib/.
+  /// Install an APK image: registers the package, stores the image's
+  /// serialized Blob under /data/app *without re-serializing*, creates the
+  /// app's private data dir marker, and extracts bundled native libraries
+  /// (as zero-copy entry views) into /data/data/<pkg>/lib/.
+  support::Status install(const apk::ApkImage& image);
+  /// Install from a parsed file only: serializes once, then installs.
   support::Status install(const apk::ApkFile& apk);
   support::Status uninstall(std::string_view pkg);
 

@@ -52,6 +52,11 @@ bool Vfs::can_write(const Principal& who, std::string_view path) const {
 
 Status Vfs::write_file(const Principal& who, std::string_view path,
                        support::Bytes data) {
+  return write_file(who, path, support::Blob::take(std::move(data)));
+}
+
+Status Vfs::write_file(const Principal& who, std::string_view path,
+                       support::Blob data) {
   if (path.empty() || path.front() != '/') {
     return Status::failure("vfs: path not absolute: " + std::string(path));
   }
@@ -70,10 +75,10 @@ Status Vfs::write_file(const Principal& who, std::string_view path,
   return Status();
 }
 
-const support::Bytes* Vfs::read_file(std::string_view path) const {
+std::optional<support::Blob> Vfs::read_file(std::string_view path) const {
   const auto it = files_.find(path);
-  if (it == files_.end()) return nullptr;
-  return &it->second;
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
 }
 
 bool Vfs::exists(std::string_view path) const {

@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "support/blob.hpp"
 #include "support/bytes.hpp"
 #include "support/error.hpp"
 
@@ -68,10 +69,18 @@ class Vfs {
   [[nodiscard]] int api_level() const { return api_level_; }
   void set_api_level(int level) { api_level_ = level; }
 
-  /// Write (create or truncate). Fails on permission or capacity.
+  /// Write (create or truncate). Fails on permission or capacity. Files are
+  /// stored as immutable Blobs: a write replaces the whole buffer, it never
+  /// mutates in place, so views handed out by read_file() are snapshots.
+  support::Status write_file(const Principal& who, std::string_view path,
+                             support::Blob data);
   support::Status write_file(const Principal& who, std::string_view path,
                              support::Bytes data);
-  [[nodiscard]] const support::Bytes* read_file(std::string_view path) const;
+  /// A refcounted view of the file's current contents, or nullopt if absent.
+  /// The view stays valid — and keeps reflecting the contents at read time —
+  /// even if the file is later overwritten or deleted.
+  [[nodiscard]] std::optional<support::Blob> read_file(
+      std::string_view path) const;
   [[nodiscard]] bool exists(std::string_view path) const;
   support::Status delete_file(const Principal& who, std::string_view path);
   support::Status rename(const Principal& who, std::string_view from,
@@ -93,7 +102,7 @@ class Vfs {
   int api_level_;
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
-  std::map<std::string, support::Bytes, std::less<>> files_;
+  std::map<std::string, support::Blob, std::less<>> files_;
 };
 
 }  // namespace dydroid::os

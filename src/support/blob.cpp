@@ -1,0 +1,30 @@
+#include "support/blob.hpp"
+
+#include "support/error.hpp"
+#include "support/trace.hpp"
+
+namespace dydroid::support {
+
+Blob Blob::copy_of(std::span<const std::uint8_t> data) {
+  count("pipeline.bytes_copied", data.size());
+  return Blob(std::make_shared<const Bytes>(data.begin(), data.end()), 0,
+              data.size());
+}
+
+Blob Blob::take(Bytes&& data) {
+  const auto size = data.size();
+  return Blob(std::make_shared<const Bytes>(std::move(data)), 0, size);
+}
+
+Blob Blob::of_string(std::string_view s) {
+  return take(::dydroid::support::to_bytes(s));
+}
+
+Blob Blob::slice(std::size_t offset, std::size_t length) const {
+  if (offset > size_ || length > size_ - offset) {
+    throw ParseError("blob: slice out of range");
+  }
+  return Blob(owner_, offset_ + offset, length);
+}
+
+}  // namespace dydroid::support

@@ -100,6 +100,13 @@ Bytes ByteReader::raw(std::size_t n) {
   return out;
 }
 
+std::span<const std::uint8_t> ByteReader::view(std::size_t n) {
+  need(n);
+  const auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
 
 std::string to_string(std::span<const std::uint8_t> b) {

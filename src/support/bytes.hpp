@@ -57,6 +57,9 @@ class ByteReader {
   Bytes blob();
   /// Read exactly n raw bytes.
   Bytes raw(std::size_t n);
+  /// Consume exactly n bytes and return a zero-copy view into the reader's
+  /// underlying buffer (valid only while that buffer lives).
+  std::span<const std::uint8_t> view(std::size_t n);
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }

@@ -42,7 +42,7 @@ struct MethodHandle {
 };
 
 struct InputStreamState {
-  Bytes data;
+  support::Blob data;  // snapshot view of the source (file entry, asset…)
   std::size_t pos = 0;
   ObjRef inner;  // set for wrapping streams (BufferedInputStream)
 };
@@ -148,7 +148,7 @@ Value stream_read(Vm& vm, const ObjRef& stream) {
   return Value(buf);
 }
 
-ObjRef make_input_stream(Vm& vm, std::string_view cls, Bytes data) {
+ObjRef make_input_stream(Vm& vm, std::string_view cls, support::Blob data) {
   auto obj = vm.make_object(cls);
   obj->native_state() = InputStreamState{std::move(data), 0, nullptr};
   return obj;
@@ -391,10 +391,10 @@ void install_files(Vm& vm) {
   vm.register_intrinsic(
       "java.io.File", "length",
       [](Vm& v, const std::vector<Value>& args) -> Value {
-        const auto* data =
+        const auto data =
             v.device().vfs().read_file(path_of(v, arg(v, args, 0)));
         return Value(
-            static_cast<std::int64_t>(data == nullptr ? 0 : data->size()));
+            static_cast<std::int64_t>(data.has_value() ? data->size() : 0));
       });
   vm.register_intrinsic("java.io.File", "mkdirs",
                         [](Vm&, const std::vector<Value>&) -> Value {
@@ -443,8 +443,8 @@ void install_files(Vm& vm) {
       [](Vm& v, const std::vector<Value>& args) -> Value {
         const auto& self = arg(v, args, 0).as_obj();
         const auto path = path_of(v, arg(v, args, 1));
-        const auto& data = v.read_file_or_throw(path);
-        self->native_state() = InputStreamState{data, 0, nullptr};
+        auto data = v.read_file_or_throw(path);
+        self->native_state() = InputStreamState{std::move(data), 0, nullptr};
         v.emit_flow(file_node(path),
                     obj_node(FlowNodeKind::InputStream, self));
         return Value();
@@ -552,8 +552,9 @@ void install_network(Vm& vm) {
     if (!fetched) {
       throw v.make_exception("IOException: " + fetched.error());
     }
-    auto stream = make_input_stream(v, "java.io.FileInputStream",
-                                    std::move(fetched).take());
+    auto stream =
+        make_input_stream(v, "java.io.FileInputStream",
+                          support::Blob::take(std::move(fetched).take()));
     // The stream is network-sourced, not file-sourced; present it as a
     // plain InputStream node fed by the URL (Table I: URL -> InputStream).
     v.emit_flow(url_node, obj_node(FlowNodeKind::InputStream, stream));
@@ -795,16 +796,16 @@ void install_sinks_and_services(Vm& vm) {
         const auto& name = arg(v, args, 0).as_str();
         const auto apk_path =
             std::string(os::kAppDir) + "/" + v.app().package() + ".apk";
-        const auto& raw = v.read_file_or_throw(apk_path);
+        const auto raw = v.read_file_or_throw(apk_path);
         apk::ApkFile pkg;
         try {
           pkg = apk::ApkFile::deserialize(raw);
         } catch (const support::ParseError& e) {
           throw v.make_exception(std::string("IOException: ") + e.what());
         }
-        const auto* entry =
+        const auto entry =
             pkg.get(std::string(apk::kAssetsDirPrefix) + name);
-        if (entry == nullptr) {
+        if (!entry.has_value()) {
           throw v.make_exception("FileNotFoundException: asset " + name);
         }
         auto stream =
@@ -840,10 +841,12 @@ void install_strings_and_crypto(Vm& vm) {
       "java.security.MessageDigest", "digest",
       [](Vm& v, const std::vector<Value>& args) -> Value {
         const auto& val = arg(v, args, 0);
-        support::Bytes data;
+        std::span<const std::uint8_t> data;
+        support::Blob file;  // keeps a by-path read alive for the hash
         if (val.is_str()) {
           // Hash a file by path.
-          data = v.read_file_or_throw(val.as_str());
+          file = v.read_file_or_throw(val.as_str());
+          data = file;
         } else {
           data = buffer_bytes(v, val);
         }

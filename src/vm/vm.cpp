@@ -521,7 +521,7 @@ LoaderState* Vm::create_runtime_loader(LoaderKind kind,
                             parent != nullptr ? parent : app_loader_);
   for (const auto& path : support::split(dex_path, ':')) {
     if (path.empty()) continue;
-    const auto& bytes = read_file_or_throw(path);
+    const auto bytes = read_file_or_throw(path);
     std::shared_ptr<const dex::DexFile> parsed;
     try {
       if (apk::looks_like_apk(bytes)) {
@@ -564,7 +564,7 @@ void Vm::load_native_library(const std::string& path) {
   for (const auto& loaded : natives_) {
     if (loaded->path == path) return;  // already linked
   }
-  const auto& bytes = read_file_or_throw(path);
+  const auto bytes = read_file_or_throw(path);
   nativebin::NativeLibrary lib;
   try {
     lib = nativebin::NativeLibrary::deserialize(bytes);
@@ -615,12 +615,12 @@ void Vm::record_event(std::string kind, std::string detail) {
   events_.push_back(VmEvent{std::move(kind), std::move(detail)});
 }
 
-const support::Bytes& Vm::read_file_or_throw(const std::string& path) {
-  const auto* data = device_->vfs().read_file(path);
-  if (data == nullptr) {
+support::Blob Vm::read_file_or_throw(const std::string& path) {
+  auto data = device_->vfs().read_file(path);
+  if (!data.has_value()) {
     throw make_exception("FileNotFoundException: " + path);
   }
-  return *data;
+  return *std::move(data);
 }
 
 void Vm::write_file_as_app(const std::string& path, support::Bytes data) {

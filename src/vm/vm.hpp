@@ -154,8 +154,10 @@ class Vm {
   void record_event(std::string kind, std::string detail);
   [[nodiscard]] const std::vector<VmEvent>& events() const { return events_; }
 
-  /// Read a VFS file; throws VmException(FileNotFound) when absent.
-  const support::Bytes& read_file_or_throw(const std::string& path);
+  /// Read a VFS file as a refcounted snapshot view; throws
+  /// VmException(FileNotFound) when absent. The returned Blob stays valid
+  /// even if the file is later overwritten or deleted.
+  support::Blob read_file_or_throw(const std::string& path);
   /// Write as the app principal. Full-storage errors surface as
   /// VmException(IOException); permission errors likewise.
   void write_file_as_app(const std::string& path, support::Bytes data);

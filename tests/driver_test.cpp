@@ -71,7 +71,7 @@ TEST(CorpusRunner, ParallelReportsIdenticalToSerial) {
           appgen::apply_scenario(app.scenario, device);
         };
     core::AnalysisRequest request;
-    request.apk_bytes = app.apk;
+    request.apk = app.apk;
     request.seed = seed_for_app(kDefaultSeedBase, i);
     request.scenario_setup = &scenario;
     EXPECT_EQ(core::report_to_json(pipeline.analyze(request)),
@@ -173,7 +173,7 @@ TEST(CorpusRunner, MalformedAppDoesNotAbortBatch) {
   jobs[0].scenario = [&good](os::Device& device) {
     appgen::apply_scenario(good.scenario, device);
   };
-  jobs[1].apk = garbage;  // decompiler rejects this outright
+  jobs[1].apk = support::Blob::copy_of(garbage);  // decompiler rejects this outright
   jobs[2] = jobs[0];
 
   const core::DyDroid pipeline{core::PipelineOptions{}};
@@ -265,7 +265,7 @@ TEST(CorpusRunner, WallTimeIsRecordedOnEveryPathIncludingCrashes) {
   jobs[0].scenario = [&good](os::Device& device) {
     appgen::apply_scenario(good.scenario, device);
   };
-  jobs[1].apk = garbage;  // crash path
+  jobs[1].apk = support::Blob::copy_of(garbage);  // crash path
   jobs[2] = jobs[0];
 
   const core::DyDroid pipeline{core::PipelineOptions{}};
@@ -389,7 +389,7 @@ TEST(CorpusRunner, TransientInjectedCrashRetriesCleanlyAndRecovers) {
   std::optional<std::uint64_t> flaky_seed;
   for (std::uint64_t seed = 0; seed < 64 && !flaky_seed; ++seed) {
     core::AnalysisRequest first;
-    first.apk_bytes = app.apk;
+    first.apk = app.apk;
     first.seed = seed;
     first.scenario_setup = &scenario;
     first.attempt = 0;
@@ -434,8 +434,7 @@ TEST(Stages, StaticStageStopsOnDclFreeApp) {
 
   core::PipelineOptions options;
   core::AnalysisContext ctx;
-  ctx.apk_bytes = app.apk;
-  ctx.bytes_to_run = app.apk;
+  ctx.apk = app.apk;
   ctx.options = &options;
 
   const core::StaticStage stage;
@@ -457,7 +456,7 @@ TEST(Stages, DynamicStageReportsCorruptContainerAsCrash) {
 
   core::PipelineOptions options;
   core::AnalysisContext ctx;
-  ctx.apk_bytes = app.apk;
+  ctx.apk = app.apk;
   ctx.options = &options;
   ctx.seed = 1;
 
@@ -465,10 +464,11 @@ TEST(Stages, DynamicStageReportsCorruptContainerAsCrash) {
   ASSERT_TRUE(static_stage.run(ctx).ok());
 
   // Corrupt the container after the static phase: the dynamic stage must
-  // resolve it through the stage status, not an escaping ParseError.
-  std::vector<std::uint8_t> truncated(app.apk.begin(),
-                                      app.apk.begin() + app.apk.size() / 4);
-  ctx.bytes_to_run = truncated;
+  // resolve it through the stage status, not an escaping ParseError. Drop
+  // the shared parse so the stage falls back to (re-)parsing the input.
+  ctx.apk = ctx.apk.slice(0, app.apk.size() / 4);
+  ctx.image = apk::ApkImage();
+  ctx.run_image = apk::ApkImage();
   const core::DynamicStage dynamic_stage;
   const auto result = dynamic_stage.run(ctx);
   ASSERT_TRUE(result.ok());

@@ -121,8 +121,8 @@ TEST_F(FrameworkTest, StreamCopyPreservesBytes) {
     m.jump("l");
     m.label("e");
   });
-  const auto* out = device_.vfs().read_file("/data/data/com.fw.app/files/out");
-  ASSERT_NE(out, nullptr);
+  const auto out = device_.vfs().read_file("/data/data/com.fw.app/files/out");
+  ASSERT_TRUE(out.has_value());
   EXPECT_EQ(*out, support::Bytes(10000, 0x5a));
 }
 

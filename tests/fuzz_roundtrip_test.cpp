@@ -33,9 +33,9 @@ appgen::GeneratedApp sample_app() {
 support::Bytes sample_dex_bytes() {
   const auto app = sample_app();
   const auto pkg = apk::ApkFile::deserialize(app.apk);
-  const auto* dex = pkg.get(apk::kClassesDexEntry);
-  EXPECT_NE(dex, nullptr);
-  return *dex;
+  const auto dex = pkg.get(apk::kClassesDexEntry);
+  EXPECT_TRUE(dex.has_value());
+  return dex->to_bytes();
 }
 
 TEST(FuzzRoundTripTest, ValidApkRoundTripsByteIdentically) {
@@ -93,7 +93,7 @@ TEST(FuzzRoundTripTest, MutatedNativeLibraryParsesOrRaisesParseError) {
   support::Bytes lib_bytes;
   for (const auto& name : pkg.entry_names()) {
     if (name.ends_with(".so")) {
-      lib_bytes = *pkg.get(name);
+      lib_bytes = pkg.get(name)->to_bytes();
       break;
     }
   }

@@ -193,10 +193,10 @@ TEST(Packer, OutputStructure) {
 TEST(Packer, PayloadDecryptsToOriginalDex) {
   const auto original = plain_app();
   const auto packed = pack(original, PackerOptions{});
-  const auto* enc = packed.get("assets/shield_payload.bin");
-  ASSERT_NE(enc, nullptr);
+  const auto enc = packed.get("assets/shield_payload.bin");
+  ASSERT_TRUE(enc.has_value());
   const auto dec = xor_crypt(*enc, PackerOptions{}.key);
-  EXPECT_EQ(dec, *original.get(apk::kClassesDexEntry));
+  EXPECT_EQ(dec, original.get(apk::kClassesDexEntry)->to_bytes());
 }
 
 TEST(Packer, DetectorFlagsPackedApp) {

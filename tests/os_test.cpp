@@ -47,7 +47,7 @@ TEST(Vfs, ForeignInternalStorageReadable) {
   Vfs vfs(18);
   ASSERT_TRUE(vfs.write_file(app("com.a"), "/data/data/com.a/lib/l.so",
                              to_bytes("lib")));
-  EXPECT_NE(vfs.read_file("/data/data/com.a/lib/l.so"), nullptr);
+  EXPECT_TRUE(vfs.read_file("/data/data/com.a/lib/l.so").has_value());
 }
 
 TEST(Vfs, ExternalStorageWritableByAnyonePre44) {

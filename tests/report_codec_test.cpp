@@ -86,7 +86,8 @@ AppReport all_fields_report() {
   core::BinaryReport binary;
   binary.binary.kind = core::CodeKind::Dex;
   binary.binary.path = "/sdcard/payload.dex";
-  binary.binary.bytes = Bytes{0xde, 0xad, 0x00, 0xbe, 0xef};
+  binary.binary.bytes =
+      support::Blob::take(Bytes{0xde, 0xad, 0x00, 0xbe, 0xef});
   binary.binary.call_site_class = "Lcom/ads/Loader;";
   binary.binary.entity = core::Entity::ThirdParty;
   binary.origin_url = "http://cdn.example.com/payload.dex";

@@ -182,7 +182,7 @@ TEST_F(StageStatusTest, ExplicitStageFailureBecomesCrashOutcome) {
   std::vector<std::unique_ptr<const core::Stage>> stages;
   stages.push_back(std::make_unique<FailingStage>());
   const core::DyDroid pipeline({}, std::move(stages));
-  const auto report = pipeline.analyze({}, 1);
+  const auto report = pipeline.analyze(support::Blob{}, 1);
   EXPECT_EQ(report.status, DynamicStatus::kCrash);
   EXPECT_EQ(report.crash_message, "forced failure");
 }
@@ -191,7 +191,7 @@ TEST_F(StageStatusTest, EscapingExceptionIsNamedAfterItsStage) {
   std::vector<std::unique_ptr<const core::Stage>> stages;
   stages.push_back(std::make_unique<ThrowingStage>());
   const core::DyDroid pipeline({}, std::move(stages));
-  const auto report = pipeline.analyze({}, 1);
+  const auto report = pipeline.analyze(support::Blob{}, 1);
   EXPECT_EQ(report.status, DynamicStatus::kCrash);
   EXPECT_EQ(report.crash_message, "ThrowingStage: boom");
 }
@@ -201,7 +201,7 @@ TEST_F(StageStatusTest, StopIsASuccessfulShortCircuit) {
   stages.push_back(std::make_unique<StoppingStage>());
   stages.push_back(std::make_unique<ThrowingStage>());  // must not run
   const core::DyDroid pipeline({}, std::move(stages));
-  const auto report = pipeline.analyze({}, 1);
+  const auto report = pipeline.analyze(support::Blob{}, 1);
   EXPECT_EQ(report.status, DynamicStatus::kNoActivity);
   EXPECT_TRUE(report.crash_message.empty());
 }

@@ -522,8 +522,9 @@ TEST_F(VmTest, DownloadEmitsTableOneFlows) {
   EXPECT_EQ(url_label, "http://cdn.example.com/update.dex");
   EXPECT_EQ(file_label, "/data/data/com.example.app/files/update.dex");
   // And the downloaded dex is a loadable byte-identical copy.
-  EXPECT_EQ(*device_.vfs().read_file(
-                "/data/data/com.example.app/files/update.dex"),
+  EXPECT_EQ(device_.vfs()
+                .read_file("/data/data/com.example.app/files/update.dex")
+                ->to_bytes(),
             payload_dex_bytes());
 }
 

@@ -58,6 +58,7 @@
 #include "driver/fault_matrix.hpp"
 #include "malware/families.hpp"
 #include "obfuscation/packer.hpp"
+#include "support/blob.hpp"
 #include "support/fault.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -74,7 +75,7 @@ support::Bytes read_file(const std::string& path) {
                         std::istreambuf_iterator<char>());
 }
 
-void write_file(const std::string& path, const support::Bytes& data) {
+void write_file(const std::string& path, std::span<const std::uint8_t> data) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot write " + path);
   out.write(reinterpret_cast<const char*>(data.data()),
@@ -305,7 +306,7 @@ int cmd_analyze(const Args& args) {
     std::fprintf(stderr, "analyze: missing input path\n");
     return 2;
   }
-  const auto bytes = read_file(args.positional[0]);
+  const auto bytes = support::Blob::take(read_file(args.positional[0]));
   core::PipelineOptions options;
   support::FaultPlan faults;  // must outlive the pipeline
   if (args.flag("faults")) {
