@@ -70,6 +70,14 @@ std::string trace_from_env() {
   return (path == nullptr) ? std::string() : std::string(path);
 }
 
+// Optional content-addressed result cache for the bench corpus, from the
+// DYDROID_CACHE env var (docs/CACHE.md). Absent or empty -> "", and the
+// bench run stays byte-identical to a cache-free run.
+std::string cache_from_env() {
+  const char* dir = std::getenv("DYDROID_CACHE");
+  return (dir == nullptr) ? std::string() : std::string(dir);
+}
+
 }  // namespace
 
 malware::DroidNative make_trained_detector(int samples_per_family) {
@@ -120,6 +128,7 @@ Measurement measure_corpus(const malware::DroidNative* detector,
   runner_config.journal_path = journal_from_env();
   runner_config.resume =
       !runner_config.journal_path.empty() && resume_from_env();
+  runner_config.cache_dir = cache_from_env();
   const std::string trace_path = trace_from_env();
   if (!trace_path.empty()) support::set_trace_enabled(true);
   const driver::CorpusRunner runner(pipeline, runner_config);

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 
@@ -285,6 +286,39 @@ void BM_JournalOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_JournalOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// Content-addressed result cache (docs/CACHE.md): the same corpus run cold
+// (empty store — every app analyzed, digested and inserted) and warm (the
+// store already holds every (apk, config, seed) key — every app is served
+// from disk). The acceptance bar is a >=2x warm speedup: a lookup costs one
+// SHA-256 of the package plus a decode, against a full pipeline run.
+void BM_CacheWarm(benchmark::State& state) {
+  support::set_log_level(support::LogLevel::Error);
+  appgen::CorpusConfig config;
+  config.scale = 0.02;
+  const auto corpus = appgen::generate_corpus(config);
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  const bool warm = state.range(0) != 0;
+  const std::string cache_dir = "bench_cache_warm_" + std::to_string(::getpid());
+  driver::RunnerConfig runner_config;
+  runner_config.jobs = 1;
+  runner_config.cache_dir = cache_dir;
+  const driver::CorpusRunner runner(pipeline, runner_config);
+  if (warm) benchmark::DoNotOptimize(runner.run(corpus));  // populate once
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      std::filesystem::remove_all(cache_dir);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(runner.run(corpus));
+  }
+  std::filesystem::remove_all(cache_dir);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.apps.size()));
+  state.SetLabel(warm ? "cache=warm" : "cache=cold");
+}
+BENCHMARK(BM_CacheWarm)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// Serial-vs-parallel corpus comparison, written to BENCH_corpus.json:
 /// wall time and apps/sec with 1 worker and with DYDROID_JOBS/hardware
 /// workers, plus a byte-identity check over every per-app JSON report.
@@ -330,6 +364,26 @@ void emit_corpus_bench_json() {
       serial.wall_ms > 0
           ? 100.0 * (journaled.wall_ms - serial.wall_ms) / serial.wall_ms
           : 0.0;
+
+  // Content-addressed result cache (docs/CACHE.md): a cold run populates
+  // the store, a second identical run serves every app from it. The warm
+  // speedup is the re-run payoff the cache exists for (acceptance: >=2x).
+  const std::string cache_dir = "BENCH_cache_" + std::to_string(::getpid());
+  std::filesystem::remove_all(cache_dir);
+  driver::RunnerConfig cache_config;
+  cache_config.jobs = 1;
+  cache_config.cache_dir = cache_dir;
+  const auto cold = driver::CorpusRunner(pipeline, cache_config).run(corpus);
+  const auto warm = driver::CorpusRunner(pipeline, cache_config).run(corpus);
+  std::filesystem::remove_all(cache_dir);
+  const std::size_t warm_checked =
+      warm.stats.cache_hits + warm.stats.cache_misses;
+  const double cache_hit_rate =
+      warm_checked > 0
+          ? static_cast<double>(warm.stats.cache_hits) / warm_checked
+          : 0.0;
+  const double warm_speedup =
+      warm.wall_ms > 0 ? cold.wall_ms / warm.wall_ms : 0.0;
 
   bool identical = serial.outcomes.size() == parallel.outcomes.size();
   for (std::size_t i = 0; identical && i < serial.outcomes.size(); ++i) {
@@ -413,6 +467,9 @@ void emit_corpus_bench_json() {
                " \"apps_per_sec\": %.1f},\n"
                "  \"journaled\": {\"jobs\": 1, \"wall_ms\": %.2f,"
                " \"overhead_pct\": %.2f},\n"
+               "  \"cache\": {\"cold_wall_ms\": %.2f, \"warm_wall_ms\": %.2f,"
+               " \"hit_rate\": %.4f, \"warm_speedup\": %.2f,"
+               " \"unique_binaries\": %zu, \"total_binaries\": %zu},\n"
                "  \"metrics\": {\"overhead_pct\": %.2f, \"stages\": [%s\n"
                "  ]},\n"
                "  \"parse_once\": {\"parses_per_app\": %.3f,"
@@ -424,6 +481,8 @@ void emit_corpus_bench_json() {
                static_cast<std::size_t>(std::thread::hardware_concurrency()),
                serial.wall_ms, serial_aps, parallel.threads, parallel.wall_ms,
                parallel_aps, journaled.wall_ms, journal_overhead_pct,
+               cold.wall_ms, warm.wall_ms, cache_hit_rate, warm_speedup,
+               warm.dedup.unique, warm.dedup.total,
                metrics_overhead_pct, metrics_json.c_str(), parses_per_app,
                copied_per_app,
                parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
@@ -432,11 +491,12 @@ void emit_corpus_bench_json() {
   std::printf(
       "\nBENCH_corpus.json: %zu apps, serial %.1f ms (%.0f apps/s), "
       "parallel[%zu] %.1f ms (%.0f apps/s), speedup %.2fx, identical=%s, "
-      "journal overhead %+.1f%%\n",
+      "journal overhead %+.1f%%, cache warm %.2fx (hit rate %.0f%%)\n",
       corpus.apps.size(), serial.wall_ms, serial_aps, parallel.threads,
       parallel.wall_ms, parallel_aps,
       parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
-      identical ? "true" : "false", journal_overhead_pct);
+      identical ? "true" : "false", journal_overhead_pct, warm_speedup,
+      100.0 * cache_hit_rate);
 }
 
 }  // namespace

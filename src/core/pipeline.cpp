@@ -71,6 +71,13 @@ DyDroid::~DyDroid() = default;
 DyDroid::DyDroid(DyDroid&&) noexcept = default;
 DyDroid& DyDroid::operator=(DyDroid&&) noexcept = default;
 
+std::vector<std::string_view> DyDroid::stage_names() const {
+  std::vector<std::string_view> names;
+  names.reserve(stages_.size());
+  for (const auto& stage : stages_) names.push_back(stage->name());
+  return names;
+}
+
 namespace {
 
 /// Run one stage, converting any escaping exception into a stage failure.

@@ -159,6 +159,11 @@ class DyDroid {
   /// while worker threads are inside analyze().
   [[nodiscard]] PipelineOptions& options() { return options_; }
 
+  /// Stage names in execution order. Part of the result cache's config
+  /// fingerprint (docs/CACHE.md): a custom stage list must never share
+  /// cache entries with the canonical pipeline.
+  [[nodiscard]] std::vector<std::string_view> stage_names() const;
+
  private:
   PipelineOptions options_;
   std::vector<std::unique_ptr<const Stage>> stages_;

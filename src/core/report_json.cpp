@@ -69,11 +69,8 @@ void write_binary(std::ostringstream& out, const BinaryReport& binary,
   out << indent << "  \"kind\": "
       << quoted(code_kind_name(binary.binary.kind)) << ",\n";
   out << indent << "  \"size\": " << binary.binary.bytes.size() << ",\n";
-  out << indent << "  \"fnv64\": \""
-      << support::format("%016llx",
-                         static_cast<unsigned long long>(
-                             support::fnv1a64(binary.binary.bytes)))
-      << "\",\n";
+  out << indent << "  \"sha256\": \""
+      << support::sha256(binary.binary.bytes.span()).hex() << "\",\n";
   out << indent << "  \"call_site\": " << quoted(binary.binary.call_site_class)
       << ",\n";
   out << indent << "  \"entity\": "

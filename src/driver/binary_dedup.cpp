@@ -1,0 +1,68 @@
+#include "driver/binary_dedup.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace dydroid::driver {
+
+namespace {
+
+/// Write one payload content-addressed: blobs are immutable, so an
+/// existing file is already the payload (equal digest, equal bytes) and is
+/// never rewritten. Best-effort: a write failure costs the blob, not the
+/// run.
+bool persist_blob(const std::string& dir, const support::Sha256Digest& digest,
+                  std::span<const std::uint8_t> bytes) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "dedup: cannot create blob dir %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  const auto path = std::filesystem::path(dir) / (digest.hex() + ".bin");
+  if (std::filesystem::exists(path, ec)) return false;  // already stored
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "dedup: short write persisting %s\n",
+                 path.string().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void BinaryDedupStore::absorb(const core::AppReport& report) {
+  for (const auto& binary_report : report.binaries) {
+    const core::InterceptedBinary& binary = binary_report.binary;
+    const auto digest = support::sha256(binary.bytes.span());
+    ++stats_.total;
+    stats_.total_bytes += binary.bytes.size();
+    auto [it, fresh] = counts_.emplace(digest, 0);
+    ++it->second;
+    if (it->second > stats_.max_reuse) stats_.max_reuse = it->second;
+    if (!fresh) continue;
+    ++stats_.unique;
+    stats_.unique_bytes += binary.bytes.size();
+    if (binary.kind == core::CodeKind::Dex) {
+      ++stats_.unique_dex;
+    } else {
+      ++stats_.unique_native;
+    }
+    if (!blob_dir_.empty() &&
+        persist_blob(blob_dir_, digest, binary.bytes.span())) {
+      ++stats_.blobs_written;
+    }
+  }
+}
+
+std::size_t BinaryDedupStore::reuse(const support::Sha256Digest& digest) const {
+  const auto it = counts_.find(digest);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace dydroid::driver

@@ -9,6 +9,8 @@
 
 #include "appgen/generator.hpp"
 #include "driver/outcome_codec.hpp"
+#include "driver/result_cache.hpp"
+#include "support/hash.hpp"
 #include "support/journal.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
@@ -39,6 +41,13 @@ void AggregateStats::absorb(const AppOutcome& outcome) {
   if (outcome.timed_out) ++timed_out;
   if (outcome.attempts > 1) ++retried;
   if (outcome.quarantined) ++quarantined;
+  if (outcome.cache_checked) {
+    if (outcome.cache_hit) {
+      ++cache_hits;
+    } else {
+      ++cache_misses;
+    }
+  }
   if (report.decompile_failed) ++decompile_failed;
   if (report.static_dcl.any()) ++static_dcl;
   if (!report.binaries.empty()) ++intercepted;
@@ -76,6 +85,8 @@ void AggregateStats::merge(const AggregateStats& other) {
   timed_out += other.timed_out;
   retried += other.retried;
   quarantined += other.quarantined;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
   total_app_ms += other.total_app_ms;
   if (other.max_app_ms > max_app_ms) max_app_ms = other.max_app_ms;
 }
@@ -194,13 +205,30 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
         support::JournalWriter::open(config_.journal_path, journal_options);
     if (!writer.ok()) throw std::runtime_error("runner: " + writer.error());
     journal.emplace(std::move(writer).take());
-    // Arm the driver-level fault session (journal.append / driver.kill)
-    // from the pipeline's plan; per-app sites keep their per-app sessions.
-    if (options.faults != nullptr && !options.faults->empty()) {
-      driver_faults.emplace(
-          *options.faults,
-          support::fault_session_seed(config_.seed_base ^ kDriverFaultSalt, 0));
-    }
+  }
+
+  // --- content-addressed result cache (docs/CACHE.md) ----------------------
+  std::optional<ResultCache> cache;
+  support::Sha256Digest config_fp;
+  if (!config_.cache_dir.empty()) {
+    config_fp = config_fingerprint(*pipeline_);
+    CacheConfig cache_config;
+    cache_config.max_entries = config_.cache_max_entries;
+    cache_config.max_bytes = config_.cache_max_bytes;
+    cache_config.fsync_each_insert = config_.cache_fsync;
+    auto opened = ResultCache::open(config_.cache_dir, config_fp, cache_config);
+    if (!opened.ok()) throw std::runtime_error("runner: " + opened.error());
+    cache.emplace(std::move(opened).take());
+  }
+
+  // Arm the driver-level fault session (journal.append / driver.kill /
+  // cache.read / cache.write) from the pipeline's plan; per-app sites keep
+  // their per-app sessions.
+  if ((journal.has_value() || cache.has_value()) &&
+      options.faults != nullptr && !options.faults->empty()) {
+    driver_faults.emplace(
+        *options.faults,
+        support::fault_session_seed(config_.seed_base ^ kDriverFaultSalt, 0));
   }
 
   std::atomic<std::size_t> next{0};
@@ -340,6 +368,57 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
                         static_cast<std::uint64_t>(outcome.wall_ms * 1000.0));
   };
 
+  /// Install the driver fault session (shared with the journal sites) for
+  /// the duration of a cache call, serializing its hit counters under the
+  /// journal mutex. A no-op (and no lock) when injection is off.
+  struct DriverFaultGuard {
+    std::optional<std::unique_lock<std::mutex>> lock;
+    std::optional<support::FaultScope> scope;
+    DriverFaultGuard(std::optional<support::FaultSession>& session,
+                     std::mutex& mutex) {
+      if (session.has_value()) {
+        lock.emplace(mutex);
+        scope.emplace(&*session);
+      }
+    }
+  };
+
+  /// Cache-aware analysis of one app (docs/CACHE.md): content-addressed
+  /// lookup first, full analysis on a miss, insert after. Cache faults
+  /// degrade — a read fault is a miss, a write fault drops the entry — so
+  /// cached and uncached runs produce byte-identical reports.
+  const auto process_app = [&](const AppJob& job, AppOutcome& outcome,
+                               std::size_t index, std::size_t worker_id) {
+    if (!cache.has_value()) {
+      analyze_app(job, outcome, index, worker_id);
+      return;
+    }
+    CacheKey key;
+    key.config = config_fp;
+    key.seed = seed_of(index);
+    std::optional<AppOutcome> hit;
+    {
+      // The span covers the digest too: content addressing is the real
+      // cost of a lookup on large packages.
+      const support::Span lookup_span("cache", "lookup");
+      key.apk = support::sha256(job.apk.span());
+      const DriverFaultGuard faults(driver_faults, journal_mutex);
+      hit = cache->lookup(key);
+    }
+    if (hit.has_value()) {
+      outcome = std::move(*hit);
+      outcome.cache_hit = true;
+      outcome.cache_checked = true;
+      support::count("cache.hit");
+      return;
+    }
+    support::count("cache.miss");
+    analyze_app(job, outcome, index, worker_id);
+    outcome.cache_checked = true;
+    const DriverFaultGuard faults(driver_faults, journal_mutex);
+    cache->insert(key, outcome);
+  };
+
   /// Write-ahead append of one finished outcome. Returns false when the
   /// run must abort (failed append or injected driver kill).
   const auto journal_outcome = [&](std::size_t index,
@@ -394,7 +473,7 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
       const support::TraceContextScope trace_context(
           static_cast<std::uint32_t>(index), 0,
           static_cast<std::uint32_t>(worker_id));
-      analyze_app(jobs[index], outcome, index, worker_id);
+      process_app(jobs[index], outcome, index, worker_id);
       if (journal.has_value() && !journal_outcome(index, outcome)) break;
     }
   };
@@ -412,25 +491,42 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
 
   // Reduce the stats once, in corpus order: deterministic counts *and*
   // deterministic floating-point sums, independent of worker count and of
-  // which outcomes were replayed vs. analyzed.
+  // which outcomes were replayed vs. analyzed. The same ordered pass feeds
+  // the corpus-wide unique-binary dedup table (docs/CACHE.md), so its
+  // stats — and which run first persists a shared blob — are deterministic
+  // too.
+  BinaryDedupStore dedup(
+      config_.cache_dir.empty() ? std::string{} : config_.cache_dir + "/blobs");
   for (const auto& outcome : result.outcomes) {
     if (!outcome.completed) continue;
     result.stats.absorb(outcome);
+    dedup.absorb(outcome.report);
     if (outcome.replayed) {
       ++result.replayed;
     } else {
       ++result.analyzed;
     }
   }
+  result.dedup = dedup.stats();
 
-  // Seal the journal before reporting the run's fate: whatever happens
-  // next (return or throw), the file on disk is complete and resumable.
+  // Seal the journal and the cache before reporting the run's fate:
+  // whatever happens next (return or throw), the files on disk are
+  // complete, compacted and resumable.
   std::size_t appended_by_this_run = 0;
   if (journal.has_value()) {
     appended_by_this_run = journal->appended();
     const support::Status sealed = journal->seal();
     if (!sealed.ok()) support::log_warn("driver", sealed.error());
     journal.reset();
+  }
+  if (cache.has_value()) {
+    const CacheStats cache_stats = cache->stats();
+    result.cache_evictions = cache_stats.evictions;
+    result.cache_invalidated = cache_stats.invalidated;
+    result.cache_write_failures = cache_stats.write_failures;
+    const support::Status sealed = cache->seal();
+    if (!sealed.ok()) support::log_warn("driver", sealed.error());
+    cache.reset();
   }
 
   if (aborted.load(std::memory_order_relaxed)) {

@@ -32,6 +32,7 @@
 
 #include "appgen/corpus.hpp"
 #include "core/pipeline.hpp"
+#include "driver/binary_dedup.hpp"
 
 namespace dydroid::driver {
 
@@ -79,6 +80,14 @@ struct AppOutcome {
   /// The outcome was restored from a resume journal instead of analyzed
   /// by this process. Not journaled.
   bool replayed = false;
+  /// The outcome was served by the content-addressed result cache
+  /// (docs/CACHE.md) instead of analyzed by this process. Not journaled.
+  bool cache_hit = false;
+  /// The result cache was consulted for this app (hit or miss). False when
+  /// no cache is configured and for journal-replayed outcomes, so
+  /// cache_hits + cache_misses + replayed == apps always holds. Not
+  /// journaled.
+  bool cache_checked = false;
 };
 
 /// Corpus-level tallies. Workers each reduce into a private instance on the
@@ -105,6 +114,11 @@ struct AggregateStats {
   std::size_t timed_out = 0;    // apps exceeding max_app_wall_ms
   std::size_t retried = 0;      // apps re-run by the retry policy
   std::size_t quarantined = 0;  // apps still failing after the retry
+  // Result cache (docs/CACHE.md). Counted from cache-checked outcomes, so
+  // cache_hits + cache_misses covers exactly the apps this process put
+  // through the cache (journal-replayed apps never consult it).
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
   // Timing.
   double total_app_ms = 0.0;
   double max_app_ms = 0.0;
@@ -126,6 +140,13 @@ struct CorpusResult {
   /// A graceful stop (RunnerConfig::stop) ended the run before every app
   /// completed; in-flight apps finished and were journaled.
   bool interrupted = false;
+  // --- result cache bookkeeping (docs/CACHE.md) ----------------------------
+  std::size_t cache_evictions = 0;      // entries dropped by capacity bounds
+  std::size_t cache_invalidated = 0;    // stale-fingerprint entries at open
+  std::size_t cache_write_failures = 0; // inserts dropped (fault / IO error)
+  /// Corpus-wide unique-binary dedup table (the paper's apps-vs-unique-
+  /// binaries measurement), reduced in corpus order after the pool joins.
+  BinaryDedupStats dedup;
 
   [[nodiscard]] std::size_t completed() const { return analyzed + replayed; }
 };
@@ -152,6 +173,19 @@ struct RunnerConfig {
   /// it becomes true, workers finish their in-flight apps, the journal is
   /// sealed, and run() returns a partial result with interrupted=true.
   const std::atomic<bool>* stop = nullptr;
+
+  // --- content-addressed result cache (docs/CACHE.md) ----------------------
+  /// Non-empty enables the on-disk result cache: each app is looked up by
+  /// (SHA-256 of its bytes, config fingerprint, seed) before analysis and
+  /// inserted after, and unique intercepted binaries are persisted
+  /// content-addressed under <cache_dir>/blobs. Empty (the default) costs
+  /// one branch per app.
+  std::string cache_dir;
+  /// LRU capacity bounds for the cache; 0 = unlimited.
+  std::size_t cache_max_entries = 0;
+  std::uint64_t cache_max_bytes = 0;
+  /// fsync the cache store after every insert; off by default.
+  bool cache_fsync = false;
 };
 
 /// Thrown by CorpusRunner::run when the run itself dies mid-corpus: a

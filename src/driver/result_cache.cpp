@@ -1,0 +1,378 @@
+#include "driver/result_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "core/pipeline.hpp"
+#include "core/stages.hpp"
+#include "driver/outcome_codec.hpp"
+#include "malware/droidnative.hpp"
+#include "support/fault.hpp"
+
+namespace dydroid::driver {
+
+namespace {
+
+/// Cache record payload, inside the CRC frame:
+///   version:u8 apk[32] config[32] seed:u64 outcome:blob
+/// where outcome is an encode_outcome payload (index 0; the corpus index
+/// is positional state of a *run*, not of the content-addressed result).
+support::Bytes encode_record(const CacheKey& key,
+                             std::span<const std::uint8_t> outcome_payload) {
+  support::ByteWriter w;
+  w.reserve(1 + 32 + 32 + 8 + 4 + outcome_payload.size());
+  w.u8(kCacheCodecVersion);
+  w.raw(key.apk.bytes);
+  w.raw(key.config.bytes);
+  w.u64(key.seed);
+  w.blob(outcome_payload);
+  return w.take();
+}
+
+struct DecodedRecord {
+  CacheKey key;
+  support::Bytes outcome_payload;
+};
+
+/// Throws support::ParseError on truncation / version mismatch.
+DecodedRecord decode_record(std::span<const std::uint8_t> payload) {
+  support::ByteReader r(payload);
+  const std::uint8_t version = r.u8();
+  if (version != kCacheCodecVersion) {
+    throw support::ParseError("cache: unsupported record version " +
+                              std::to_string(version));
+  }
+  DecodedRecord out;
+  const auto apk = r.raw(32);
+  const auto config = r.raw(32);
+  std::copy(apk.begin(), apk.end(), out.key.apk.bytes.begin());
+  std::copy(config.begin(), config.end(), out.key.config.bytes.begin());
+  out.key.seed = r.u64();
+  out.outcome_payload = r.blob();
+  if (!r.at_end()) throw support::ParseError("cache: trailing record bytes");
+  return out;
+}
+
+}  // namespace
+
+support::Result<ResultCache> ResultCache::open(
+    const std::string& dir, const support::Sha256Digest& expected_config,
+    CacheConfig config) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return support::Result<ResultCache>::failure(
+        "cache: cannot create directory " + dir + ": " + ec.message());
+  }
+  ResultCache cache;
+  cache.config_ = config;
+  cache.expected_config_ = expected_config;
+  cache.store_path_ = (std::filesystem::path(dir) / kCacheFileName).string();
+
+  // Load the existing store, journal-style: walk intact frames, stop at
+  // the first damaged one, chop the damaged tail so appends land after the
+  // last intact record. Damaged *contents* never fail the open — the cache
+  // is advisory — but a store file we cannot read as our own format (bad
+  // magic: some other file squatting on the path) is a loud failure.
+  if (std::filesystem::exists(cache.store_path_, ec)) {
+    auto read = support::read_journal(cache.store_path_, kCacheMagic);
+    if (!read.ok()) {
+      return support::Result<ResultCache>::failure(read.error());
+    }
+    if (read.value().torn()) {
+      cache.stats_.torn_tail = true;
+      std::fprintf(stderr,
+                   "cache: recovered torn tail in %s (%zu bytes discarded)\n",
+                   cache.store_path_.c_str(), read.value().bytes_discarded);
+      const auto truncated = support::truncate_journal(
+          cache.store_path_, read.value().bytes_recovered);
+      if (!truncated.ok()) {
+        return support::Result<ResultCache>::failure(truncated.error());
+      }
+    }
+    for (const auto& record : read.value().records) {
+      DecodedRecord decoded;
+      try {
+        decoded = decode_record(record);
+      } catch (const support::ParseError&) {
+        // CRC-intact but semantically unreadable (foreign codec version,
+        // truncated fields): skip and recompute — never crash.
+        ++cache.stats_.skipped;
+        cache.dirty_ = true;
+        continue;
+      }
+      if (decoded.key.config != expected_config) {
+        ++cache.stats_.invalidated;
+        cache.dirty_ = true;
+        continue;
+      }
+      // Last writer wins on duplicate keys (same rule as journal replay);
+      // a later record also refreshes recency.
+      auto it = cache.index_.find(decoded.key);
+      if (it != cache.index_.end()) {
+        cache.payload_bytes_ -= it->second.payload.size();
+        cache.payload_bytes_ += decoded.outcome_payload.size();
+        it->second.payload = std::move(decoded.outcome_payload);
+        cache.lru_.splice(cache.lru_.end(), cache.lru_, it->second.lru_it);
+        cache.dirty_ = true;  // duplicate frames on disk
+      } else {
+        const auto lru_it =
+            cache.lru_.insert(cache.lru_.end(), decoded.key);
+        cache.payload_bytes_ += decoded.outcome_payload.size();
+        cache.index_.emplace(decoded.key,
+                             Entry{std::move(decoded.outcome_payload), lru_it});
+      }
+    }
+    cache.stats_.loaded = cache.index_.size();
+    if (cache.stats_.invalidated > 0) {
+      std::fprintf(stderr,
+                   "cache: invalidated %zu entries in %s with a stale config "
+                   "fingerprint (current %s) — the pipeline configuration "
+                   "changed; those apps will recompute\n",
+                   cache.stats_.invalidated, cache.store_path_.c_str(),
+                   expected_config.hex().c_str());
+    }
+    if (cache.stats_.skipped > 0) {
+      std::fprintf(stderr, "cache: skipped %zu undecodable entries in %s\n",
+                   cache.stats_.skipped, cache.store_path_.c_str());
+    }
+  }
+
+  support::JournalWriterOptions writer_options;
+  writer_options.fsync_each_record = config.fsync_each_insert;
+  writer_options.magic = kCacheMagic;
+  writer_options.fault_site = support::FaultSite::kCacheWrite;
+  auto writer = support::JournalWriter::open(cache.store_path_, writer_options);
+  if (!writer.ok()) {
+    return support::Result<ResultCache>::failure(writer.error());
+  }
+  cache.writer_.emplace(std::move(writer).take());
+
+  // Loaded entries may already exceed this run's (possibly tighter)
+  // bounds.
+  {
+    std::lock_guard<std::mutex> lock(*cache.mutex_);
+    cache.evict_past_bounds_locked();
+  }
+  return std::move(cache);
+}
+
+ResultCache::~ResultCache() {
+  if (mutex_) (void)seal();
+}
+
+std::optional<AppOutcome> ResultCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (support::fault_fire(support::FaultSite::kCacheRead)) {
+    // Injected read error: the cache is advisory, so a failed read is just
+    // a miss — the app recomputes and the run's outputs do not change.
+    ++stats_.read_faults;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  DecodedOutcome decoded;
+  try {
+    decoded = decode_outcome(it->second.payload);
+  } catch (const support::ParseError& e) {
+    // An entry that passed CRC at open but no longer decodes (foreign
+    // outcome codec version): drop it and recompute.
+    std::fprintf(stderr, "cache: dropping undecodable entry (%s)\n", e.what());
+    payload_bytes_ -= it->second.payload.size();
+    lru_.erase(it->second.lru_it);
+    index_.erase(it);
+    ++stats_.skipped;
+    ++stats_.misses;
+    dirty_ = true;
+    return std::nullopt;
+  }
+  touch_locked(it->second, key);
+  ++stats_.hits;
+  AppOutcome outcome = std::move(decoded.outcome);
+  // decode_outcome stamps journal-replay provenance; a cache hit is not a
+  // journal replay. The runner stamps cache provenance on its side.
+  outcome.replayed = false;
+  return outcome;
+}
+
+void ResultCache::insert(const CacheKey& key, const AppOutcome& outcome) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (!writer_.has_value()) return;  // sealed: run is shutting down
+  support::Bytes payload = encode_outcome(0, outcome);
+  const support::Bytes record = encode_record(key, payload);
+  const auto appended = writer_->append(record);
+  if (!appended.ok()) {
+    // cache.write fault or real I/O error: the frame on disk is torn, the
+    // entry is dropped. dirty_ forces seal() to compact, which rewrites
+    // the file from the intact in-memory entries and so repairs the tear.
+    ++stats_.write_failures;
+    dirty_ = true;
+    return;
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    payload_bytes_ -= it->second.payload.size();
+    payload_bytes_ += payload.size();
+    it->second.payload = std::move(payload);
+    touch_locked(it->second, key);
+    dirty_ = true;  // the overwritten frame is now garbage on disk
+  } else {
+    const auto lru_it = lru_.insert(lru_.end(), key);
+    payload_bytes_ += payload.size();
+    index_.emplace(key, Entry{std::move(payload), lru_it});
+  }
+  evict_past_bounds_locked();
+}
+
+void ResultCache::touch_locked(Entry& entry, const CacheKey& /*key*/) {
+  lru_.splice(lru_.end(), lru_, entry.lru_it);
+}
+
+void ResultCache::evict_past_bounds_locked() {
+  while (!lru_.empty() &&
+         ((config_.max_entries != 0 && index_.size() > config_.max_entries) ||
+          (config_.max_bytes != 0 && payload_bytes_ > config_.max_bytes))) {
+    const CacheKey victim = lru_.front();
+    const auto it = index_.find(victim);
+    payload_bytes_ -= it->second.payload.size();
+    lru_.pop_front();
+    index_.erase(it);
+    ++stats_.evictions;
+    dirty_ = true;  // evicted frames stay on disk until compaction
+  }
+}
+
+support::Status ResultCache::seal() {
+  if (!mutex_) return {};  // moved-from shell
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (!writer_.has_value()) return {};  // already sealed
+  support::Status status = writer_->seal();
+  writer_.reset();
+  if (!dirty_) return status;
+
+  // Compact: rewrite the store to the surviving entries in LRU order
+  // (least recent first — file order IS recency order at the next open),
+  // then atomically swap it in. On any failure the original file is left
+  // in place: it still replays correctly, just with garbage frames.
+  const std::string tmp_path = store_path_ + ".compact";
+  support::JournalWriterOptions writer_options;
+  writer_options.truncate = true;
+  writer_options.magic = kCacheMagic;
+  writer_options.fault_site = support::FaultSite::kCacheWrite;
+  auto writer = support::JournalWriter::open(tmp_path, writer_options);
+  if (!writer.ok()) return support::Status::failure(writer.error());
+  for (const auto& key : lru_) {
+    const auto& entry = index_.at(key);
+    const auto appended =
+        writer.value().append(encode_record(key, entry.payload));
+    if (!appended.ok()) {
+      (void)writer.value().seal();
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return appended;
+    }
+  }
+  const auto sealed = writer.value().seal();
+  if (!sealed.ok()) return sealed;
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, store_path_, ec);
+  if (ec) {
+    return support::Status::failure("cache: cannot rename " + tmp_path +
+                                    " over " + store_path_ + ": " +
+                                    ec.message());
+  }
+  dirty_ = false;
+  return status;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return index_.size();
+}
+
+std::uint64_t ResultCache::payload_bytes() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return payload_bytes_;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return stats_;
+}
+
+std::vector<CacheKey> ResultCache::lru_order() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return {lru_.begin(), lru_.end()};
+}
+
+// ---- config fingerprint ----------------------------------------------------
+
+support::Sha256Digest config_fingerprint(const core::DyDroid& pipeline) {
+  const core::PipelineOptions& options = pipeline.options();
+  support::ByteWriter w;
+  // Domain label + codec version: bumping the outcome codec re-keys every
+  // entry, so a new driver never replays payloads it cannot decode.
+  w.str("dydroid.config.v1");
+  w.u8(kCacheCodecVersion);
+  w.u8(kOutcomeCodecVersion);
+
+  // Stage list (execution order). A custom stage list — extra stage,
+  // reordering, static-only subset — is a different pipeline.
+  const auto stages = pipeline.stage_names();
+  w.u32(static_cast<std::uint32_t>(stages.size()));
+  for (const auto name : stages) w.str(name);
+
+  // Engine / device / runtime knobs: anything that steers the fuzzer, the
+  // VM budget or the simulated environment steers the report.
+  w.u32(static_cast<std::uint32_t>(options.engine.monkey.num_events));
+  w.u32(static_cast<std::uint32_t>(options.engine.monkey.num_view_ids));
+  w.u64(options.engine.limits.max_steps_per_entry);
+  w.u32(static_cast<std::uint32_t>(options.engine.limits.max_call_depth));
+  w.u32(static_cast<std::uint32_t>(options.device.api_level));
+  w.u64(options.device.storage_capacity_bytes);
+  w.u8(options.runtime.time_ms.has_value() ? 1 : 0);
+  w.i64(options.runtime.time_ms.value_or(0));
+  w.u8(options.runtime.airplane_mode ? 1 : 0);
+  w.u8(options.runtime.wifi_enabled ? 1 : 0);
+  w.u8(options.runtime.location_enabled ? 1 : 0);
+
+  // Scenario closures cannot be hashed; fingerprint their presence only.
+  // docs/CACHE.md spells out why this stays sound for corpus runs (the
+  // per-app scenario is a pure function of the app spec, i.e. of the APK
+  // bytes already in the key) and when to use a fresh cache dir instead.
+  w.u8(options.scenario_setup ? 1 : 0);
+
+  // Detector identity by observable training state (a proxy: the sample
+  // set itself is not reachable from here, but size + families + threshold
+  // catch every supported way of configuring it differently).
+  w.u8(options.detector != nullptr ? 1 : 0);
+  if (options.detector != nullptr) {
+    w.u64(std::bit_cast<std::uint64_t>(options.detector->threshold()));
+    w.u64(options.detector->training_size());
+    const auto families = options.detector->families();
+    w.u32(static_cast<std::uint32_t>(families.size()));
+    for (const auto& family : families) w.str(family);
+  }
+
+  w.u8(options.dynamic_analysis ? 1 : 0);
+
+  // Fault plan: injected failures are part of the deterministic outcome
+  // (a crash bucket under faults is a *correct* result for that plan).
+  w.u8(options.faults != nullptr ? 1 : 0);
+  if (options.faults != nullptr) w.str(options.faults->to_string());
+
+  // Driver policy that shapes outcomes: timeout budget, retry/quarantine.
+  w.u64(std::bit_cast<std::uint64_t>(options.max_app_wall_ms));
+  w.u8(options.retry_on_crash ? 1 : 0);
+
+  return support::sha256(w.data());
+}
+
+}  // namespace dydroid::driver

@@ -1,0 +1,197 @@
+// Content-addressed result cache (docs/CACHE.md).
+//
+// The paper's corpus (Section V) is dominated by repeated content: the
+// same APK resubmitted across markets, repacked variants sharing payloads,
+// and re-runs of the measurement after a driver upgrade. The cache makes
+// re-analysis of identical work free: it maps
+//
+//   (SHA-256 of the APK bytes, SHA-256 config fingerprint, app seed)
+//     -> encoded AppOutcome (the same payload codec the resume journal uses)
+//
+// so a corpus run can skip analyze() for any app whose exact bytes were
+// already analyzed under the exact same pipeline configuration and seed.
+// Identity bottoms out in SHA-256 — never FNV-1a (see support/hash.hpp's
+// strength classes): a craftable 64-bit collision must land in distinct
+// cache entries, not serve one app's results for another's bytes.
+//
+// On-disk layout: DIR/results.dyc reuses the journal frame layer
+// (support/journal.hpp) under its own magic "DYCACH01" — CRC-framed
+// records, append-only writes, torn-tail recovery. Unlike the journal the
+// cache is *advisory*: a torn tail, an undecodable record or a stale
+// config fingerprint never aborts a run — damaged entries are skipped
+// (loudly, to stderr) and the apps recompute. File order doubles as the
+// LRU order (front = least recent); eviction drops in-memory entries once
+// max_entries/max_bytes are exceeded and seal() compacts the file to the
+// survivors in LRU order, so recency survives across runs.
+//
+// Fault sites (docs/FAULTS.md): cache.read fails a lookup (treated as a
+// miss), cache.write fails an insert (the entry is dropped and the frame
+// left genuinely torn). Both degrade, never abort — cached and uncached
+// runs stay byte-identical under injection.
+//
+// Thread-safety: all public methods are internally synchronized; one
+// ResultCache serves every corpus worker.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "driver/corpus_runner.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+#include "support/journal.hpp"
+
+namespace dydroid::core {
+class DyDroid;
+}
+
+namespace dydroid::driver {
+
+/// Cache file magic: "DYCACH01" (bump the digits on format changes). Keeps
+/// a cache file from ever being mistaken for an outcome journal.
+inline constexpr std::array<std::uint8_t, 8> kCacheMagic = {
+    'D', 'Y', 'C', 'A', 'C', 'H', '0', '1'};
+
+/// Cache record payload version (first byte of every record payload).
+inline constexpr std::uint8_t kCacheCodecVersion = 1;
+
+/// The store file inside the cache directory.
+inline constexpr std::string_view kCacheFileName = "results.dyc";
+
+/// Full identity of one cached analysis. Every component is
+/// content-addressed: apk is the digest of the exact package bytes, config
+/// the fingerprint of the exact pipeline semantics, seed the exact fuzzing
+/// stream. Equal keys replay byte-identical reports.
+struct CacheKey {
+  support::Sha256Digest apk;
+  support::Sha256Digest config;
+  std::uint64_t seed = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    const support::Sha256DigestHash h;
+    return support::hash_combine(
+        support::hash_combine(h(k.apk), h(k.config)), k.seed);
+  }
+};
+
+/// Capacity bounds. 0 means unlimited. Bytes count encoded record
+/// payloads (the dominant cost), not framing.
+struct CacheConfig {
+  std::size_t max_entries = 0;
+  std::uint64_t max_bytes = 0;
+  /// fsync(2) after every insert (default off, like the journal).
+  bool fsync_each_insert = false;
+};
+
+/// Counters for diagnostics and the survey summary. `loaded`/`invalidated`/
+/// `skipped` describe open-time recovery; the rest accumulate per call.
+struct CacheStats {
+  std::size_t loaded = 0;        // intact, current-config entries at open
+  std::size_t invalidated = 0;   // entries under a stale config fingerprint
+  std::size_t skipped = 0;       // undecodable records dropped at open
+  bool torn_tail = false;        // open recovered a damaged tail
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;     // entries dropped by capacity bounds
+  std::size_t read_faults = 0;   // cache.read fired (served as misses)
+  std::size_t write_failures = 0;  // cache.write fired / append error
+};
+
+/// The on-disk, capacity-bounded result store. See the header comment for
+/// the format and recovery rules.
+class ResultCache {
+ public:
+  /// Open (creating the directory and store file if absent) the cache at
+  /// `dir`. Entries whose config digest differs from `expected_config` are
+  /// invalidated — dropped from the index with a stderr warning naming
+  /// both fingerprints, so a semantic config change is loud, never a
+  /// silent corpus-wide miss. Damaged records/tails are recovered
+  /// journal-style. Fails only on real I/O errors (unwritable dir, store
+  /// open failure) — never on damaged contents.
+  static support::Result<ResultCache> open(
+      const std::string& dir, const support::Sha256Digest& expected_config,
+      CacheConfig config = {});
+
+  ResultCache(ResultCache&&) noexcept = default;
+  ResultCache& operator=(ResultCache&&) noexcept = default;
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+  ~ResultCache();
+
+  /// Look up one key. A hit refreshes recency and returns the decoded
+  /// outcome (completed=true, replayed/cache flags cleared — the caller
+  /// stamps provenance). A cache.read fault or an entry that no longer
+  /// decodes degrades to a miss (the bad entry is dropped).
+  [[nodiscard]] std::optional<AppOutcome> lookup(const CacheKey& key);
+
+  /// Insert (or overwrite) one finished outcome. Appends the record to the
+  /// store, then admits it to the index and evicts LRU entries past the
+  /// capacity bounds. A cache.write fault or append error drops the entry
+  /// (counted in write_failures) without failing the run.
+  void insert(const CacheKey& key, const AppOutcome& outcome);
+
+  /// Flush and close the store. If entries were evicted, overwritten or
+  /// damaged records dropped, the file is first compacted: rewritten to
+  /// the surviving entries in LRU order (temp file + atomic rename), so
+  /// the next open sees exactly the index state and recency this run
+  /// ended with. Idempotent; also performed by the destructor.
+  support::Status seal();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t payload_bytes() const;
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] const std::string& store_path() const { return store_path_; }
+
+  /// Keys in recency order, least recent first (the compaction order).
+  /// Test hook for the LRU-eviction suite.
+  [[nodiscard]] std::vector<CacheKey> lru_order() const;
+
+ private:
+  struct Entry {
+    support::Bytes payload;  // encoded outcome record (codec payload)
+    std::list<CacheKey>::iterator lru_it;
+  };
+
+  ResultCache() = default;
+
+  void evict_past_bounds_locked();
+  void touch_locked(Entry& entry, const CacheKey& key);
+
+  // Behind unique_ptr so the cache stays movable (std::mutex is not).
+  std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
+  std::string store_path_;
+  CacheConfig config_;
+  support::Sha256Digest expected_config_{};
+  std::optional<support::JournalWriter> writer_;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> index_;
+  std::list<CacheKey> lru_;  // front = least recently used
+  std::uint64_t payload_bytes_ = 0;
+  /// Disk no longer mirrors the index (eviction, overwrite, damage):
+  /// seal() must compact.
+  bool dirty_ = false;
+  CacheStats stats_;
+};
+
+/// SHA-256 fingerprint of everything that changes analysis semantics:
+/// stage list, engine/device/runtime knobs, detector identity, fault plan,
+/// retry/timeout policy and the outcome codec version. Two pipelines with
+/// equal fingerprints produce byte-identical reports for equal (apk, seed)
+/// — the invariant the cache's correctness rests on. Caveat: per-app
+/// scenario closures cannot be fingerprinted; only their presence is
+/// (docs/CACHE.md discusses why corpus scenarios derived 1:1 from the app
+/// bytes keep this sound).
+[[nodiscard]] support::Sha256Digest config_fingerprint(
+    const core::DyDroid& pipeline);
+
+}  // namespace dydroid::driver

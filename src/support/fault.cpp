@@ -25,6 +25,8 @@ constexpr std::array<SiteName, kFaultSiteCount> kSiteNames = {{
     {FaultSite::kNativeLoad, "native.load"},
     {FaultSite::kJournalAppend, "journal.append"},
     {FaultSite::kDriverKill, "driver.kill"},
+    {FaultSite::kCacheRead, "cache.read"},
+    {FaultSite::kCacheWrite, "cache.write"},
 }};
 
 /// splitmix64-style avalanche; the decision function's mixing core.

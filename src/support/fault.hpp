@@ -54,9 +54,11 @@ enum class FaultSite : std::uint8_t {
   // journal append.
   kJournalAppend,    // support::JournalWriter::append — torn record write
   kDriverKill,       // CorpusRunner checked boundary — driver dies mid-run
+  kCacheRead,        // driver::ResultCache::lookup — read error, treat as miss
+  kCacheWrite,       // driver::ResultCache::insert — write error, entry dropped
 };
 
-inline constexpr std::size_t kFaultSiteCount = 10;
+inline constexpr std::size_t kFaultSiteCount = 12;
 
 /// All sites, in enum order (the injection-site catalog).
 const std::array<FaultSite, kFaultSiteCount>& all_fault_sites();

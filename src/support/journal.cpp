@@ -91,8 +91,8 @@ Result<JournalWriter> JournalWriter::open(const std::string& path,
   }
   const off_t size = ::lseek(fd, 0, SEEK_END);
   if (size == 0) {
-    // Fresh (or truncated) journal: stamp the magic.
-    if (!write_fully(fd, kJournalMagic.data(), kJournalMagic.size())) {
+    // Fresh (or truncated) journal: stamp the configured magic.
+    if (!write_fully(fd, options.magic.data(), options.magic.size())) {
       const std::string message =
           errno_message("journal: cannot write header to", path);
       ::close(fd);
@@ -100,13 +100,14 @@ Result<JournalWriter> JournalWriter::open(const std::string& path,
     }
   } else {
     // Existing journal (resume): verify the magic so we never append
-    // records to a file that is not a journal.
+    // records to a file belonging to a different frame-layer client (or
+    // to something that is not a journal at all).
     std::ifstream in(path, std::ios::binary);
-    std::array<char, kJournalMagic.size()> magic{};
+    std::array<char, 8> magic{};
     in.read(magic.data(), static_cast<std::streamsize>(magic.size()));
     const bool good =
         in.gcount() == static_cast<std::streamsize>(magic.size()) &&
-        std::memcmp(magic.data(), kJournalMagic.data(), magic.size()) == 0;
+        std::memcmp(magic.data(), options.magic.data(), magic.size()) == 0;
     if (!good) {
       ::close(fd);
       return Result<JournalWriter>::failure(
@@ -143,11 +144,11 @@ Status JournalWriter::append(std::span<const std::uint8_t> payload) {
   encode_frame_header(header, static_cast<std::uint32_t>(payload.size()),
                       crc32(payload));
 
-  if (fault_fire(FaultSite::kJournalAppend)) {
+  if (fault_fire(options_.fault_site)) {
     // Simulate the write dying halfway: leave a genuinely torn frame on
     // disk (the exact artifact of a crash mid-append) and fail loudly.
     // The reader's torn-tail recovery drops it; the app simply re-runs on
-    // resume.
+    // resume (journal) or recomputes on the next run (cache).
     const std::size_t half = (sizeof(header) + payload.size()) / 2;
     if (half <= sizeof(header)) {
       (void)write_fully(fd_, header, half);
@@ -155,7 +156,7 @@ Status JournalWriter::append(std::span<const std::uint8_t> payload) {
       (void)writev_fully(fd_, header, sizeof(header), payload.data(),
                          half - sizeof(header));
     }
-    return Status::failure(fault_message(FaultSite::kJournalAppend));
+    return Status::failure(fault_message(options_.fault_site));
   }
 
   // One writev, no frame buffer: with O_APPEND the kernel serializes the
@@ -198,16 +199,16 @@ Status JournalWriter::seal() {
   return status;
 }
 
-Result<JournalReadResult> parse_journal(std::span<const std::uint8_t> data) {
+Result<JournalReadResult> parse_journal(std::span<const std::uint8_t> data,
+                                        const std::array<std::uint8_t, 8>& magic) {
   JournalReadResult result;
   if (data.empty()) return result;  // a fresh, never-written journal
-  if (data.size() < kJournalMagic.size() ||
-      std::memcmp(data.data(), kJournalMagic.data(), kJournalMagic.size()) !=
-          0) {
+  if (data.size() < magic.size() ||
+      std::memcmp(data.data(), magic.data(), magic.size()) != 0) {
     return Result<JournalReadResult>::failure(
         "journal: bad magic (not a journal file)");
   }
-  std::size_t pos = kJournalMagic.size();
+  std::size_t pos = magic.size();
   result.bytes_recovered = pos;
   while (pos < data.size()) {
     // Frame header: len + crc. A short header is a torn tail.
@@ -235,14 +236,15 @@ Status truncate_journal(const std::string& path, std::size_t bytes_recovered) {
   return {};
 }
 
-Result<JournalReadResult> read_journal(const std::string& path) {
+Result<JournalReadResult> read_journal(const std::string& path,
+                                       const std::array<std::uint8_t, 8>& magic) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Result<JournalReadResult>::failure("journal: cannot open " + path);
   }
   const Bytes data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
-  return parse_journal(data);
+  return parse_journal(data, magic);
 }
 
 }  // namespace dydroid::support

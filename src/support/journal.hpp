@@ -39,6 +39,7 @@
 
 #include "support/bytes.hpp"
 #include "support/error.hpp"
+#include "support/fault.hpp"
 
 namespace dydroid::support {
 
@@ -57,6 +58,14 @@ struct JournalWriterOptions {
   /// Start a fresh journal (truncate any existing file) instead of
   /// appending to it. Resume runs append; fresh runs truncate.
   bool truncate = false;
+  /// File magic stamped on a fresh file and demanded of an existing one.
+  /// The result cache (docs/CACHE.md) reuses the frame layer under its own
+  /// magic so a cache file can never be mistaken for an outcome journal.
+  std::array<std::uint8_t, 8> magic = kJournalMagic;
+  /// Injection site honored by append(): an injected failure leaves a
+  /// genuinely torn half-frame on disk. The outcome journal keeps
+  /// journal.append; the result cache writes under cache.write.
+  FaultSite fault_site = FaultSite::kJournalAppend;
 };
 
 /// Append-only writer over an O_APPEND descriptor.
@@ -116,7 +125,11 @@ struct JournalReadResult {
 /// Read every intact record. An empty file is a valid, empty journal; a
 /// missing file or a wrong magic is a loud failure (never a silent empty
 /// result); a torn or bit-flipped tail is recovered per the header rules.
-Result<JournalReadResult> read_journal(const std::string& path);
+/// `magic` selects which frame-layer client the file must belong to
+/// (outcome journal by default; the result cache passes its own).
+Result<JournalReadResult> read_journal(
+    const std::string& path,
+    const std::array<std::uint8_t, 8>& magic = kJournalMagic);
 
 /// Chop a damaged journal back to its valid prefix (the bytes_recovered a
 /// read reported) so a resume run can append after the last intact record
@@ -125,6 +138,8 @@ Status truncate_journal(const std::string& path, std::size_t bytes_recovered);
 
 /// Parse journal bytes already in memory (the reader core; exposed for the
 /// fuzz suite).
-Result<JournalReadResult> parse_journal(std::span<const std::uint8_t> data);
+Result<JournalReadResult> parse_journal(
+    std::span<const std::uint8_t> data,
+    const std::array<std::uint8_t, 8>& magic = kJournalMagic);
 
 }  // namespace dydroid::support

@@ -50,7 +50,7 @@ TEST(ReportJson, BinarySummarizedNotEmbedded) {
   const auto json = report_to_json(report);
   // Size and hash present; raw bytes are not.
   EXPECT_NE(json.find("\"size\": "), std::string::npos);
-  EXPECT_NE(json.find("\"fnv64\": "), std::string::npos);
+  EXPECT_NE(json.find("\"sha256\": "), std::string::npos);
   ASSERT_FALSE(report.binaries.empty());
   EXPECT_LT(json.size(), 16 * 1024u);  // compact even with several binaries
 }

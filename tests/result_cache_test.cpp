@@ -1,0 +1,595 @@
+// Content-addressed result cache (docs/CACHE.md): hit/miss semantics, LRU
+// eviction order, config-fingerprint invalidation, corrupted-store
+// recovery (skip-and-recompute, never crash), the crafted-FNV-collision
+// identity regression, and the golden equivalence suite — cached and
+// uncached corpus runs must produce byte-identical per-app reports at any
+// worker count, with fault injection on and off, plus the journal+cache
+// interplay (killed run resumed against a warm cache).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "appgen/corpus.hpp"
+#include "core/report_json.hpp"
+#include "support/bytes.hpp"
+#include "driver/corpus_runner.hpp"
+#include "driver/outcome_codec.hpp"
+#include "driver/result_cache.hpp"
+#include "support/fault.hpp"
+#include "support/hash.hpp"
+#include "support/journal.hpp"
+#include "support/log.hpp"
+
+namespace dydroid::driver {
+namespace {
+
+class TempCacheDir {
+ public:
+  explicit TempCacheDir(const std::string& tag) {
+    path_ = testing::TempDir() + "dydroid_cache_" + tag + "_" +
+            std::to_string(::getpid());
+    std::filesystem::remove_all(path_);
+  }
+  ~TempCacheDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+class TempJournal {
+ public:
+  explicit TempJournal(const std::string& tag) {
+    path_ = testing::TempDir() + "dydroid_cachejr_" + tag + "_" +
+            std::to_string(::getpid()) + ".jrnl";
+    std::remove(path_.c_str());
+  }
+  ~TempJournal() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+const support::Sha256Digest kTestConfig = support::sha256("test-config-A");
+
+AppOutcome make_outcome(const std::string& package, std::uint64_t seed = 7) {
+  AppOutcome outcome;
+  outcome.report.package = package;
+  outcome.seed = seed;
+  outcome.wall_ms = 1.25;
+  outcome.attempts = 1;
+  outcome.completed = true;
+  return outcome;
+}
+
+CacheKey key_of(std::string_view apk_tag, std::uint64_t seed = 0,
+                const support::Sha256Digest& config = kTestConfig) {
+  CacheKey key;
+  key.apk = support::sha256(apk_tag);
+  key.config = config;
+  key.seed = seed;
+  return key;
+}
+
+ResultCache open_or_die(const std::string& dir,
+                        const support::Sha256Digest& config = kTestConfig,
+                        CacheConfig cache_config = {}) {
+  auto opened = ResultCache::open(dir, config, cache_config);
+  EXPECT_TRUE(opened.ok()) << opened.error();
+  return std::move(opened).take();
+}
+
+appgen::Corpus small_corpus(double scale = 0.002) {
+  appgen::CorpusConfig config;
+  config.scale = scale;
+  return appgen::generate_corpus(config);
+}
+
+std::vector<std::string> report_jsons(const CorpusResult& result) {
+  std::vector<std::string> out;
+  out.reserve(result.outcomes.size());
+  for (const auto& outcome : result.outcomes) {
+    out.push_back(core::report_to_json(outcome.report));
+  }
+  return out;
+}
+
+/// Measurement stats must agree between cached and uncached runs; the
+/// cache_hits/cache_misses provenance counters intentionally differ.
+void expect_same_counts(const AggregateStats& got,
+                        const AggregateStats& want) {
+  EXPECT_EQ(got.apps, want.apps);
+  EXPECT_EQ(got.not_run, want.not_run);
+  EXPECT_EQ(got.rewriting_failure, want.rewriting_failure);
+  EXPECT_EQ(got.no_activity, want.no_activity);
+  EXPECT_EQ(got.crashed, want.crashed);
+  EXPECT_EQ(got.exercised, want.exercised);
+  EXPECT_EQ(got.decompile_failed, want.decompile_failed);
+  EXPECT_EQ(got.static_dcl, want.static_dcl);
+  EXPECT_EQ(got.intercepted, want.intercepted);
+  EXPECT_EQ(got.remote_loaders, want.remote_loaders);
+  EXPECT_EQ(got.malware_carriers, want.malware_carriers);
+  EXPECT_EQ(got.vulnerable, want.vulnerable);
+  EXPECT_EQ(got.privacy_leaking, want.privacy_leaking);
+  EXPECT_EQ(got.binaries, want.binaries);
+  EXPECT_EQ(got.events, want.events);
+  EXPECT_EQ(got.timed_out, want.timed_out);
+  EXPECT_EQ(got.retried, want.retried);
+  EXPECT_EQ(got.quarantined, want.quarantined);
+}
+
+// ---------------------------------------------------------------------------
+// Store semantics: hit/miss, persistence, LRU, invalidation, recovery.
+// ---------------------------------------------------------------------------
+
+TEST(ResultCache, HitMissSemanticsAndPersistence) {
+  TempCacheDir dir("hitmiss");
+  const auto key = key_of("app-one", 42);
+  {
+    auto cache = open_or_die(dir.path());
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    cache.insert(key, make_outcome("com.example.one", 42));
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->report.package, "com.example.one");
+    EXPECT_EQ(hit->seed, 42u);
+    EXPECT_TRUE(hit->completed);
+    EXPECT_FALSE(hit->replayed);   // a cache hit is not a journal replay
+    EXPECT_FALSE(hit->cache_hit);  // provenance is stamped by the runner
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_TRUE(cache.seal().ok());
+  }
+  // The entry survives a close/reopen cycle.
+  auto cache = open_or_die(dir.path());
+  EXPECT_EQ(cache.stats().loaded, 1u);
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->report.package, "com.example.one");
+  // A different seed on the same bytes+config is a different identity.
+  EXPECT_FALSE(cache.lookup(key_of("app-one", 43)).has_value());
+}
+
+TEST(ResultCache, OverwriteIsLastWriterWins) {
+  TempCacheDir dir("overwrite");
+  const auto key = key_of("app", 1);
+  {
+    auto cache = open_or_die(dir.path());
+    cache.insert(key, make_outcome("com.example.v1", 1));
+    cache.insert(key, make_outcome("com.example.v2", 1));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.lookup(key)->report.package, "com.example.v2");
+  }
+  // Reopen: the duplicate frames on disk resolve last-writer-wins, and the
+  // seal-time compaction has collapsed them to one.
+  auto cache = open_or_die(dir.path());
+  EXPECT_EQ(cache.stats().loaded, 1u);
+  EXPECT_EQ(cache.lookup(key)->report.package, "com.example.v2");
+  auto read = support::read_journal(cache.store_path(), kCacheMagic);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().records.size(), 1u);
+}
+
+TEST(ResultCache, LruEvictionOrderAndRecencyAcrossReopen) {
+  TempCacheDir dir("lru");
+  CacheConfig bounds;
+  bounds.max_entries = 3;
+  const auto k1 = key_of("a"), k2 = key_of("b"), k3 = key_of("c"),
+             k4 = key_of("d");
+  {
+    auto cache = open_or_die(dir.path(), kTestConfig, bounds);
+    cache.insert(k1, make_outcome("com.a"));
+    cache.insert(k2, make_outcome("com.b"));
+    cache.insert(k3, make_outcome("com.c"));
+    EXPECT_EQ(cache.lru_order(), (std::vector<CacheKey>{k1, k2, k3}));
+    // A hit refreshes recency: k1 moves off the chopping block...
+    ASSERT_TRUE(cache.lookup(k1).has_value());
+    EXPECT_EQ(cache.lru_order(), (std::vector<CacheKey>{k2, k3, k1}));
+    // ...so the next insert evicts k2, the least recently used.
+    cache.insert(k4, make_outcome("com.d"));
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.lru_order(), (std::vector<CacheKey>{k3, k1, k4}));
+    EXPECT_FALSE(cache.lookup(k2).has_value());
+  }
+  // Compaction wrote the survivors in LRU order: recency survives reopen.
+  auto cache = open_or_die(dir.path(), kTestConfig, bounds);
+  EXPECT_EQ(cache.stats().loaded, 3u);
+  EXPECT_EQ(cache.lru_order(), (std::vector<CacheKey>{k3, k1, k4}));
+}
+
+TEST(ResultCache, ByteBoundEvicts) {
+  TempCacheDir dir("bytes");
+  const auto probe = encode_outcome(0, make_outcome("com.probe"));
+  CacheConfig bounds;
+  bounds.max_bytes = probe.size() * 2 + probe.size() / 2;  // fits 2, not 3
+  auto cache = open_or_die(dir.path(), kTestConfig, bounds);
+  cache.insert(key_of("a"), make_outcome("com.probe"));
+  cache.insert(key_of("b"), make_outcome("com.probe"));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.insert(key_of("c"), make_outcome("com.probe"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.payload_bytes(), bounds.max_bytes);
+}
+
+TEST(ResultCache, StaleConfigFingerprintInvalidatesLoudly) {
+  TempCacheDir dir("invalidate");
+  const auto fp_b = support::sha256("test-config-B");
+  {
+    auto cache = open_or_die(dir.path());  // fingerprint A
+    cache.insert(key_of("a"), make_outcome("com.a"));
+    cache.insert(key_of("b"), make_outcome("com.b"));
+  }
+  {
+    // A semantic config change: every entry drops, none served stale.
+    testing::internal::CaptureStderr();
+    auto cache = open_or_die(dir.path(), fp_b);
+    const std::string warning = testing::internal::GetCapturedStderr();
+    EXPECT_NE(warning.find("invalidated 2 entries"), std::string::npos);
+    EXPECT_NE(warning.find(fp_b.hex()), std::string::npos);
+    EXPECT_EQ(cache.stats().invalidated, 2u);
+    EXPECT_EQ(cache.stats().loaded, 0u);
+    EXPECT_FALSE(
+        cache.lookup(key_of("a", 0, fp_b)).has_value());
+    cache.insert(key_of("c", 0, fp_b), make_outcome("com.c"));
+  }
+  // The stale frames were compacted away; the new-config entry remains.
+  auto cache = open_or_die(dir.path(), fp_b);
+  EXPECT_EQ(cache.stats().loaded, 1u);
+  EXPECT_EQ(cache.stats().invalidated, 0u);
+  ASSERT_TRUE(cache.lookup(key_of("c", 0, fp_b)).has_value());
+}
+
+TEST(ResultCache, TornTailIsRecoveredNotFatal) {
+  TempCacheDir dir("torn");
+  std::string store;
+  {
+    auto cache = open_or_die(dir.path());
+    cache.insert(key_of("a"), make_outcome("com.a"));
+    cache.insert(key_of("b"), make_outcome("com.b"));
+    store = cache.store_path();
+  }
+  {  // Tear the tail: half a fake frame of garbage after the real records.
+    std::ofstream out(store, std::ios::binary | std::ios::app);
+    const char garbage[] = "\x40\x00\x00\x00torn-frame";
+    out.write(garbage, sizeof(garbage) - 1);
+  }
+  testing::internal::CaptureStderr();
+  auto cache = open_or_die(dir.path());
+  const std::string warning = testing::internal::GetCapturedStderr();
+  EXPECT_NE(warning.find("torn tail"), std::string::npos);
+  EXPECT_TRUE(cache.stats().torn_tail);
+  EXPECT_EQ(cache.stats().loaded, 2u);  // intact prefix fully recovered
+  EXPECT_TRUE(cache.lookup(key_of("a")).has_value());
+  EXPECT_TRUE(cache.lookup(key_of("b")).has_value());
+}
+
+TEST(ResultCache, CorruptedMidFileRecordDropsTheSuffixNotTheRun) {
+  TempCacheDir dir("corrupt");
+  std::string store;
+  std::uintmax_t after_first = 0;
+  {
+    auto cache = open_or_die(dir.path());
+    cache.insert(key_of("a"), make_outcome("com.a"));
+    (void)cache.seal();
+    after_first = std::filesystem::file_size(cache.store_path());
+    store = cache.store_path();
+  }
+  {
+    auto cache = open_or_die(dir.path());
+    cache.insert(key_of("b"), make_outcome("com.b"));
+    cache.insert(key_of("c"), make_outcome("com.c"));
+  }
+  {  // Flip one byte inside the second record's frame.
+    std::fstream f(store, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(after_first) + 8);
+    const char flip = '\xff';
+    f.write(&flip, 1);
+  }
+  // Journal-style recovery stops at the first damaged frame: record "a"
+  // survives, "b"/"c" recompute. Never a crash, never a failed open.
+  auto cache = open_or_die(dir.path());
+  EXPECT_TRUE(cache.stats().torn_tail);
+  EXPECT_EQ(cache.stats().loaded, 1u);
+  EXPECT_TRUE(cache.lookup(key_of("a")).has_value());
+  EXPECT_FALSE(cache.lookup(key_of("b")).has_value());
+  EXPECT_FALSE(cache.lookup(key_of("c")).has_value());
+}
+
+TEST(ResultCache, ForeignFileMagicFailsLoudly) {
+  TempCacheDir dir("magic");
+  std::filesystem::create_directories(dir.path());
+  const std::string store =
+      (std::filesystem::path(dir.path()) / kCacheFileName).string();
+  {  // An outcome *journal* squatting on the store path: not our format.
+    auto writer = support::JournalWriter::open(store);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().append(support::to_bytes("not-a-cache")).ok());
+  }
+  auto opened = ResultCache::open(dir.path(), kTestConfig);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_NE(opened.error().find("magic"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Identity: SHA-256, never FNV-1a. Two inputs crafted to collide under
+// fnv1a64 (see tests/support_test.cpp for the pair's provenance) must land
+// in distinct cache entries — the weak-fingerprint regression of ISSUE 7.
+// ---------------------------------------------------------------------------
+
+TEST(ResultCache, CraftedFnvCollisionLandsInDistinctEntries) {
+  const std::string apk_a = std::string("adhkfmajpgmp") + '\x61';
+  const std::string apk_b = std::string("dknbajjdhieb") + '\x17';
+  ASSERT_EQ(support::fnv1a64(apk_a), support::fnv1a64(apk_b));
+  ASSERT_NE(apk_a, apk_b);
+
+  TempCacheDir dir("collision");
+  auto cache = open_or_die(dir.path());
+  CacheKey key_a = key_of(apk_a, 9);
+  CacheKey key_b = key_of(apk_b, 9);
+  EXPECT_NE(key_a, key_b);  // sha256 keeps the identities apart
+  cache.insert(key_a, make_outcome("com.example.first", 9));
+  cache.insert(key_b, make_outcome("com.example.second", 9));
+  EXPECT_EQ(cache.size(), 2u);
+  // Neither entry shadows the other: each set of bytes replays its own
+  // result, not its FNV twin's.
+  EXPECT_EQ(cache.lookup(key_a)->report.package, "com.example.first");
+  EXPECT_EQ(cache.lookup(key_b)->report.package, "com.example.second");
+}
+
+// ---------------------------------------------------------------------------
+// Golden equivalence: cached and uncached corpus runs are byte-identical —
+// at 1/2/8 workers, cold and warm, with fault injection off and on.
+// ---------------------------------------------------------------------------
+
+TEST(CacheEquivalence, CachedRunsMatchUncachedAtAnyWorkerCount) {
+  support::set_log_level(support::LogLevel::Error);
+  const auto corpus = small_corpus();
+  const std::size_t n = corpus.apps.size();
+  ASSERT_GT(n, 10u);
+
+  for (const bool faults_on : {false, true}) {
+    auto plan = support::FaultPlan::parse("device.boot=p:0.3");
+    ASSERT_TRUE(plan.ok());
+    core::PipelineOptions options;
+    if (faults_on) options.faults = &plan.value();
+    const core::DyDroid pipeline(std::move(options));
+
+    RunnerConfig golden_config;
+    golden_config.jobs = 1;
+    const auto golden = CorpusRunner(pipeline, golden_config).run(corpus);
+    const auto golden_json = report_jsons(golden);
+
+    for (const std::size_t workers :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      TempCacheDir dir("equiv_f" + std::to_string(faults_on) + "_w" +
+                       std::to_string(workers));
+      RunnerConfig config;
+      config.jobs = workers;
+      config.cache_dir = dir.path();
+
+      // Cold: every app analyzed and inserted.
+      const auto cold = CorpusRunner(pipeline, config).run(corpus);
+      EXPECT_EQ(cold.stats.cache_hits, 0u);
+      EXPECT_EQ(cold.stats.cache_misses, n);
+      const auto cold_json = report_jsons(cold);
+      ASSERT_EQ(cold_json.size(), golden_json.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(cold_json[i], golden_json[i])
+            << "cold faults=" << faults_on << " workers=" << workers
+            << " app=" << i;
+      }
+      expect_same_counts(cold.stats, golden.stats);
+
+      // Warm: every app served from the store, still byte-identical.
+      const auto warm = CorpusRunner(pipeline, config).run(corpus);
+      EXPECT_EQ(warm.stats.cache_hits, n);
+      EXPECT_EQ(warm.stats.cache_misses, 0u);
+      const auto warm_json = report_jsons(warm);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(warm_json[i], golden_json[i])
+            << "warm faults=" << faults_on << " workers=" << workers
+            << " app=" << i;
+      }
+      expect_same_counts(warm.stats, golden.stats);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(warm.outcomes[i].cache_hit);
+        EXPECT_EQ(warm.outcomes[i].seed, seed_for_app(kDefaultSeedBase, i));
+      }
+    }
+  }
+}
+
+TEST(CacheEquivalence, CacheFaultInjectionDegradesWithoutChangingReports) {
+  support::set_log_level(support::LogLevel::Error);
+  const auto corpus = small_corpus();
+  const std::size_t n = corpus.apps.size();
+
+  const core::DyDroid golden_pipeline{core::PipelineOptions{}};
+  RunnerConfig golden_config;
+  golden_config.jobs = 1;
+  const auto golden = CorpusRunner(golden_pipeline, golden_config).run(corpus);
+  const auto golden_json = report_jsons(golden);
+
+  // Half of all cache reads and writes fail. The cache is advisory: the
+  // run must produce byte-identical reports, just with fewer hits.
+  auto plan = support::FaultPlan::parse("cache.read=p:0.5,cache.write=p:0.5");
+  ASSERT_TRUE(plan.ok());
+  core::PipelineOptions options;
+  options.faults = &plan.value();
+  const core::DyDroid pipeline(std::move(options));
+
+  TempCacheDir dir("cachefaults");
+  RunnerConfig config;
+  config.jobs = 2;
+  config.cache_dir = dir.path();
+  const auto cold = CorpusRunner(pipeline, config).run(corpus);
+  const auto warm = CorpusRunner(pipeline, config).run(corpus);
+  for (const auto* run : {&cold, &warm}) {
+    const auto json = report_jsons(*run);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(json[i], golden_json[i]) << "app " << i;
+    }
+    EXPECT_EQ(run->stats.cache_hits + run->stats.cache_misses, n);
+  }
+  // The injected write failures dropped entries, so the warm run cannot be
+  // all hits — and read faults surface as misses, never as errors.
+  EXPECT_GT(warm.stats.cache_hits, 0u);
+  EXPECT_GT(warm.stats.cache_misses, 0u);
+  EXPECT_GT(cold.cache_write_failures, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Corpus-wide binary dedup (the paper's apps-vs-unique-binaries table).
+// ---------------------------------------------------------------------------
+
+TEST(CacheEquivalence, DedupStatsAndBlobStoreAreConsistent) {
+  support::set_log_level(support::LogLevel::Error);
+  const auto corpus = small_corpus(0.003);
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+
+  TempCacheDir dir("dedup");
+  RunnerConfig config;
+  config.jobs = 2;
+  config.cache_dir = dir.path();
+  const auto cold = CorpusRunner(pipeline, config).run(corpus);
+
+  const auto& dedup = cold.dedup;
+  ASSERT_GT(dedup.total, 0u) << "corpus intercepted no binaries";
+  EXPECT_EQ(dedup.total, cold.stats.binaries);
+  EXPECT_LE(dedup.unique, dedup.total);
+  EXPECT_EQ(dedup.unique_dex + dedup.unique_native, dedup.unique);
+  EXPECT_GE(dedup.max_reuse, 1u);
+  EXPECT_LE(dedup.unique_bytes, dedup.total_bytes);
+  EXPECT_EQ(dedup.duplicate_bytes(), dedup.total_bytes - dedup.unique_bytes);
+
+  // Unique payloads persisted content-addressed, one blob per digest.
+  EXPECT_EQ(dedup.blobs_written, dedup.unique);
+  std::size_t blob_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::path(dir.path()) / "blobs")) {
+    ++blob_files;
+    EXPECT_EQ(entry.path().extension(), ".bin");
+    // Content-addressed: the file's digest is its name.
+    std::ifstream in(entry.path(), std::ios::binary);
+    const support::Bytes bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    EXPECT_EQ(support::sha256(bytes).hex() + ".bin",
+              entry.path().filename().string());
+  }
+  EXPECT_EQ(blob_files, dedup.unique);
+
+  // A warm re-run finds every blob already stored and rewrites none, and
+  // an uncached run computes the same table without persisting anything.
+  const auto warm = CorpusRunner(pipeline, config).run(corpus);
+  EXPECT_EQ(warm.dedup.unique, dedup.unique);
+  EXPECT_EQ(warm.dedup.blobs_written, 0u);
+  RunnerConfig plain;
+  plain.jobs = 2;
+  const auto uncached = CorpusRunner(pipeline, plain).run(corpus);
+  EXPECT_EQ(uncached.dedup.unique, dedup.unique);
+  EXPECT_EQ(uncached.dedup.total, dedup.total);
+  EXPECT_EQ(uncached.dedup.blobs_written, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Interplay with the write-ahead journal (docs/CHECKPOINT.md): a journaled
+// run killed mid-corpus resumes against a warm cache to a result
+// byte-identical to an uninterrupted uncached run, and the provenance
+// accounting (hits + misses + replayed == apps) holds throughout.
+// ---------------------------------------------------------------------------
+
+TEST(CacheEquivalence, KilledJournaledRunResumesWarmFromCache) {
+  support::set_log_level(support::LogLevel::Error);
+  const auto corpus = small_corpus();
+  const std::size_t n = corpus.apps.size();
+  const std::size_t k = (2 * n) / 3;  // kill on the k-th journal append
+  ASSERT_GT(k, n - k) << "resume would re-trigger the nth-append kill";
+
+  // One pipeline for every phase, so the config fingerprint matches: the
+  // per-app fault (with retries) shapes the reports; driver.kill only ever
+  // fires where a journal is armed.
+  auto plan = support::FaultPlan::parse("device.boot=p:0.3,driver.kill=nth:" +
+                                        std::to_string(k));
+  ASSERT_TRUE(plan.ok());
+  core::PipelineOptions options;
+  options.faults = &plan.value();
+  options.retry_on_crash = true;
+  const core::DyDroid pipeline(std::move(options));
+
+  // Golden: uncached, unjournaled (driver.kill has no append to fire on).
+  RunnerConfig golden_config;
+  golden_config.jobs = 1;
+  const auto golden = CorpusRunner(pipeline, golden_config).run(corpus);
+  const auto golden_json = report_jsons(golden);
+  ASSERT_GT(golden.stats.retried, 0u)
+      << "fault plan produced no retries; the interplay test is vacuous";
+
+  // Phase 1 — populate the cache (no journal: nothing for the kill to hit).
+  TempCacheDir cache_dir("interplay");
+  RunnerConfig populate_config;
+  populate_config.jobs = 2;
+  populate_config.cache_dir = cache_dir.path();
+  const auto populated = CorpusRunner(pipeline, populate_config).run(corpus);
+  EXPECT_EQ(populated.stats.cache_hits, 0u);
+  EXPECT_EQ(populated.stats.cache_misses, n);  // hits + misses == apps
+
+  // Phase 2 — journaled + cached run, killed on the k-th append.
+  TempJournal journal("interplay");
+  RunnerConfig killed_config = populate_config;
+  killed_config.journal_path = journal.path();
+  std::size_t journaled = 0;
+  try {
+    (void)CorpusRunner(pipeline, killed_config).run(corpus);
+    FAIL() << "expected RunAborted";
+  } catch (const RunAborted& aborted) {
+    journaled = aborted.journaled();
+  }
+  EXPECT_EQ(journaled, k);
+
+  // Phase 3 — resume: k outcomes replay from the journal, the rest come
+  // warm from the cache. Byte-identical to the uninterrupted golden run.
+  RunnerConfig resume_config = killed_config;
+  resume_config.resume = true;
+  const auto resumed = CorpusRunner(pipeline, resume_config).run(corpus);
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.replayed, k);
+  EXPECT_EQ(resumed.analyzed, n - k);
+  EXPECT_EQ(resumed.stats.cache_hits, n - k);  // all warm
+  EXPECT_EQ(resumed.stats.cache_misses, 0u);
+  EXPECT_EQ(
+      resumed.stats.cache_hits + resumed.stats.cache_misses + resumed.replayed,
+      n);
+  const auto resumed_json = report_jsons(resumed);
+  ASSERT_EQ(resumed_json.size(), golden_json.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(resumed_json[i], golden_json[i]) << "app " << i;
+  }
+  expect_same_counts(resumed.stats, golden.stats);
+  // Journal-replayed outcomes never consult the cache; their provenance
+  // flags say so.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (resumed.outcomes[i].replayed) {
+      EXPECT_FALSE(resumed.outcomes[i].cache_checked);
+    } else {
+      EXPECT_TRUE(resumed.outcomes[i].cache_checked);
+      EXPECT_TRUE(resumed.outcomes[i].cache_hit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dydroid::driver

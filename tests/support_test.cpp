@@ -69,6 +69,70 @@ TEST(Hash, CombineOrderSensitive) {
   EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
 }
 
+// NIST FIPS 180-4 test vectors (the one-block, two-block and empty-message
+// cases from the SHA-256 examples plus the million-'a' stress vector).
+TEST(Hash, Sha256NistVectors) {
+  EXPECT_EQ(
+      sha256("").hex(),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      sha256("abc").hex(),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  const std::string million(1000000, 'a');
+  EXPECT_EQ(
+      sha256(million).hex(),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// The digest must not depend on update() chunking: byte-at-a-time, odd
+// block-straddling splits and one-shot all agree.
+TEST(Hash, Sha256IncrementalChunkingEquivalence) {
+  const std::string message =
+      "The quick brown fox jumps over the lazy dog, 256 bits at a time, "
+      "until the corpus of 58,739 apps is deduplicated by content.";
+  const auto oneshot = sha256(message);
+  Sha256 bytewise;
+  for (char c : message) bytewise.update(std::string_view(&c, 1));
+  EXPECT_EQ(bytewise.digest(), oneshot);
+  for (std::size_t split : {1u, 55u, 56u, 63u, 64u, 65u, 100u}) {
+    Sha256 h;
+    h.update(std::string_view(message).substr(0, split));
+    h.update(std::string_view(message).substr(split));
+    EXPECT_EQ(h.digest(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Hash, Sha256DigestHelpers) {
+  const auto d = sha256("abc");
+  EXPECT_EQ(d.hex().size(), 64u);
+  // prefix64 reads like the leading hex digits.
+  EXPECT_EQ(d.prefix64(), 0xba7816bf8f01cfeaull);
+  EXPECT_EQ(Sha256DigestHash{}(d), Sha256DigestHash{}(sha256("abc")));
+  EXPECT_NE(sha256("abc"), sha256("abd"));
+  EXPECT_LT(d, sha256(""));  // ba... orders before e3... bytewise
+}
+
+// The weak-fingerprint regression (ISSUE 7): 64-bit FNV-1a collisions are
+// craftable, so identity decisions must route through SHA-256. These two
+// 13-byte inputs were crafted by a birthday search over the FNV state
+// space: they collide under fnv1a64 yet are different content.
+TEST(Hash, CraftedFnvCollisionDistinctUnderSha256) {
+  const std::string a = std::string("adhkfmajpgmp") + '\x61';
+  const std::string b = std::string("dknbajjdhieb") + '\x17';
+  ASSERT_NE(a, b);
+  EXPECT_EQ(fnv1a64(a), fnv1a64(b));           // FNV conflates them...
+  EXPECT_EQ(fnv1a64(a), 0x163793a619fe055cull);
+  EXPECT_NE(sha256(a), sha256(b));             // ...SHA-256 does not.
+  // Second independent pair, same property.
+  const std::string c = std::string("olbnmgppjhkk") + '\x61';
+  const std::string d = std::string("amllapgdikhd") + '\x92';
+  EXPECT_EQ(fnv1a64(c), fnv1a64(d));
+  EXPECT_NE(sha256(c), sha256(d));
+}
+
 TEST(Rng, DeterministicAcrossInstances) {
   Rng a(42);
   Rng b(42);

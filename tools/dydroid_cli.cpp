@@ -7,10 +7,12 @@
 //       <out>.hosted.<i> for any remote payloads the app needs).
 //
 //   dydroid analyze <app.sapk> [--seed N] [--host URL FILE]...
-//               [--journal PATH | --resume PATH]
+//               [--journal PATH | --resume PATH] [--cache DIR]
 //       Run the full pipeline on one app; print the JSON report. With a
 //       journal the finished outcome is appended to the write-ahead log;
 //       with --resume a journaled outcome is replayed instead of re-run.
+//       With --cache the outcome is served from / inserted into the
+//       content-addressed result cache (docs/CACHE.md).
 //
 //   dydroid disasm <app.sapk>
 //       Decompile and print the smali-like listing (fails on
@@ -21,13 +23,17 @@
 //
 //   dydroid survey [--scale S] [--seed N] [--faults PLAN] [--budget MS]
 //               [--retry] [--journal PATH | --resume PATH] [--fsync]
+//               [--cache DIR] [--cache-entries N] [--cache-bytes N]
 //               [--trace OUT.json] [--metrics] [--top K]
 //       Generate a corpus and print the Section-V style summary. With a
 //       journal, every finished app is appended to a crash-safe
 //       write-ahead log (docs/CHECKPOINT.md); SIGINT/SIGTERM triggers a
 //       graceful stop (in-flight apps finish, the journal is sealed) and
 //       a killed or interrupted run resumes with --resume PATH,
-//       re-running only the missing apps. --trace writes a Chrome
+//       re-running only the missing apps. --cache DIR arms the
+//       content-addressed result cache + binary dedup store
+//       (docs/CACHE.md): identical (bytes, config, seed) work is
+//       replayed instead of re-analyzed. --trace writes a Chrome
 //       trace_event JSON (chrome://tracing / Perfetto) with one span per
 //       (app, stage, attempt); --metrics appends the per-stage latency
 //       table and the top-K slowest apps (docs/OBSERVABILITY.md).
@@ -248,6 +254,23 @@ std::string configure_journal(const Args& args,
   return path;
 }
 
+// --- result cache plumbing (docs/CACHE.md) ----------------------------------
+
+/// Fill the cache fields of a RunnerConfig from --cache DIR and the
+/// optional --cache-entries/--cache-bytes LRU bounds. Returns the cache
+/// directory ("" = caching off).
+std::string configure_cache(const char* cmd, const Args& args,
+                            driver::RunnerConfig& config) {
+  config.cache_dir = args.value("cache", "");
+  if (config.cache_dir.empty()) return {};
+  config.cache_max_entries = static_cast<std::size_t>(parse_u64_flag(
+      cmd, "cache-entries", args.value("cache-entries", "0")));
+  config.cache_max_bytes =
+      parse_u64_flag(cmd, "cache-bytes", args.value("cache-bytes", "0"));
+  config.cache_fsync = args.flag("fsync");
+  return config.cache_dir;
+}
+
 int cmd_gen(const Args& args) {
   if (args.positional.empty()) {
     std::fprintf(stderr, "gen: missing output path\n");
@@ -351,14 +374,16 @@ int cmd_analyze(const Args& args) {
       parse_u64_flag("analyze", "seed", args.value("seed", "1"));
   driver::RunnerConfig runner_config;
   const std::string journal_path = configure_journal(args, runner_config);
+  const std::string cache_dir = configure_cache("analyze", args, runner_config);
   core::DyDroid pipeline(std::move(options));
-  if (journal_path.empty()) {
+  if (journal_path.empty() && cache_dir.empty()) {
     const auto report = pipeline.analyze(bytes, seed);
     std::printf("%s", core::report_to_json(report).c_str());
     return 0;
   }
-  // Journaled single-app run: route through the corpus runner so the
-  // outcome is written ahead (and replayed byte-identically on --resume).
+  // Journaled and/or cached single-app run: route through the corpus
+  // runner so the outcome is written ahead (and replayed byte-identically
+  // on --resume) and/or served by the content-addressed cache.
   runner_config.jobs = 1;
   driver::AppJob job;
   job.apk = bytes;
@@ -369,15 +394,19 @@ int cmd_analyze(const Args& args) {
     result = runner.run(std::span<const driver::AppJob>(&job, 1));
   } catch (const driver::RunAborted& e) {
     std::fprintf(stderr, "analyze: %s\n", e.what());
-    std::fprintf(stderr, "  resume with: dydroid analyze %s --resume %s\n",
-                 args.positional[0].c_str(), journal_path.c_str());
+    if (!journal_path.empty()) {
+      std::fprintf(stderr, "  resume with: dydroid analyze %s --resume %s\n",
+                   args.positional[0].c_str(), journal_path.c_str());
+    }
     return 3;
   }
   if (result.interrupted || result.outcomes.empty() ||
       !result.outcomes[0].completed) {
     std::fprintf(stderr, "analyze: interrupted before the app completed\n");
-    std::fprintf(stderr, "  resume with: dydroid analyze %s --resume %s\n",
-                 args.positional[0].c_str(), journal_path.c_str());
+    if (!journal_path.empty()) {
+      std::fprintf(stderr, "  resume with: dydroid analyze %s --resume %s\n",
+                   args.positional[0].c_str(), journal_path.c_str());
+    }
     return 3;
   }
   std::printf("%s", core::report_to_json(result.outcomes[0].report).c_str());
@@ -476,6 +505,7 @@ int cmd_survey(const Args& args) {
   runner_config.jobs = static_cast<std::size_t>(
       parse_u64_flag("survey", "jobs", args.value("jobs", "0")));
   const std::string journal_path = configure_journal(args, runner_config);
+  const std::string cache_dir = configure_cache("survey", args, runner_config);
   const std::string trace_path = configure_observability(args);
   const driver::CorpusRunner runner(pipeline, runner_config);
   driver::CorpusResult result;
@@ -510,6 +540,22 @@ int cmd_survey(const Args& args) {
     std::printf("  journal: %zu analyzed, %zu replayed -> %s\n",
                 result.analyzed, result.replayed, journal_path.c_str());
   }
+  if (!cache_dir.empty()) {
+    std::printf(
+        "  cache: %zu hits, %zu misses (%zu evicted, %zu invalidated, "
+        "%zu write failures) -> %s\n",
+        stats.cache_hits, stats.cache_misses, result.cache_evictions,
+        result.cache_invalidated, result.cache_write_failures,
+        cache_dir.c_str());
+  }
+  // Apps-vs-unique-binaries (the paper's dedup measurement): how much of
+  // the corpus' loaded code is shared content.
+  std::printf(
+      "  binaries: %zu intercepted, %zu unique (%zu dex, %zu native), "
+      "max reuse %zu, %llu duplicate bytes\n",
+      result.dedup.total, result.dedup.unique, result.dedup.unique_dex,
+      result.dedup.unique_native, result.dedup.max_reuse,
+      static_cast<unsigned long long>(result.dedup.duplicate_bytes()));
   std::printf("  %.1f ms on %zu worker(s), %.0f apps/s\n", result.wall_ms,
               result.threads,
               result.wall_ms > 0
@@ -569,13 +615,14 @@ void usage() {
       "      [--reflection] [--seed N]\n"
       "  analyze <app.sapk> [--seed N] [--host URL FILE]...\n"
       "      [--companion FILE] [--faults PLAN]\n"
-      "      [--journal PATH | --resume PATH]\n"
+      "      [--journal PATH | --resume PATH] [--cache DIR]\n"
       "  disasm <app.sapk>\n"
       "  pack <in.sapk> <out.sapk> [--trap]\n"
       "  unpack <packed.sapk> <out.sapk> [--seed N]\n"
       "  survey [--scale S] [--seed N] [--jobs J] [--faults PLAN]\n"
       "      [--budget MS] [--retry]\n"
       "      [--journal PATH | --resume PATH] [--fsync]\n"
+      "      [--cache DIR] [--cache-entries N] [--cache-bytes N]\n"
       "      [--trace OUT.json] [--metrics] [--top K]\n"
       "  faultcheck [--scale S] [--seed N] [--jobs 1,2,8] [--fraction F]\n"
       "      [--no-corruption]\n"
@@ -585,7 +632,11 @@ void usage() {
       "the top-K slowest apps.\n"
       "Crash safety (docs/CHECKPOINT.md): --journal writes a CRC-framed\n"
       "write-ahead outcome log; a killed or interrupted run resumes with\n"
-      "--resume PATH, re-running only the missing apps.\n");
+      "--resume PATH, re-running only the missing apps.\n"
+      "Result cache (docs/CACHE.md): --cache DIR replays identical\n"
+      "(bytes, config, seed) work from a content-addressed store and\n"
+      "dedups intercepted binaries corpus-wide; --cache-entries and\n"
+      "--cache-bytes bound the store (LRU).\n");
 }
 
 }  // namespace
@@ -599,7 +650,7 @@ int main(int argc, char** argv) {
   const std::set<std::string> value_opts = {
       "pkg", "category", "seed", "malware", "vuln", "scale", "companion",
       "jobs", "faults", "budget", "fraction", "journal", "resume",
-      "trace", "top"};
+      "trace", "top", "cache", "cache-entries", "cache-bytes"};
   const auto args = parse(argc, argv, 2, value_opts);
   try {
     if (cmd == "gen") return cmd_gen(args);

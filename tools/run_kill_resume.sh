@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Kill/resume stress harness (docs/CHECKPOINT.md): repeatedly SIGKILL a
 # `dydroid survey --journal` run at a random point, resume it, and diff the
-# summary against an uninterrupted golden run.
+# summary against an uninterrupted golden run. Each round then repeats the
+# same cycle with a warm result cache (docs/CACHE.md) attached: replayed
+# journal records plus warm cache hits must reproduce the same summary.
 #
 #   tools/run_kill_resume.sh [rounds] [scale] [seed] [jobs]
 #
 # Defaults: 10 rounds, --scale 0.01, --seed 20161101, --jobs 2. The dydroid
 # binary is taken from $DYDROID_CLI or ./build/tools/dydroid. Wall-clock
-# lines ("... ms on N worker(s)") and the journal bookkeeping line differ
-# between runs by construction and are stripped before the diff; everything
-# else — the Table II outcome histogram and every measurement aspect — must
-# be byte-identical. Exit status 1 on the first mismatch.
+# lines ("... ms on N worker(s)"), the journal bookkeeping line and the
+# cache hit/miss line differ between runs by construction and are stripped
+# before the diff; everything else — the Table II outcome histogram and
+# every measurement aspect — must be byte-identical. Exit status 1 on the
+# first mismatch.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,7 +33,8 @@ workdir="$(mktemp -d "${TMPDIR:-/tmp}/dydroid_kill_resume.XXXXXX")"
 trap 'rm -rf "$workdir"' EXIT
 
 strip_timing() {
-  grep -v -e ' ms on ' -e 'journal:' -e 'resume with' "$1" || true
+  grep -v -e ' ms on ' -e 'journal:' -e 'resume with' -e '  cache:' "$1" \
+    || true
 }
 
 echo "==== golden run (scale=$scale seed=$seed jobs=$jobs) ===="
@@ -38,16 +42,24 @@ echo "==== golden run (scale=$scale seed=$seed jobs=$jobs) ===="
   > "$workdir/golden.txt"
 strip_timing "$workdir/golden.txt" > "$workdir/golden.stable"
 
-for round in $(seq 1 "$rounds"); do
-  journal="$workdir/round$round.jrnl"
-  out="$workdir/round$round.txt"
+# Warm cache for the cached kill/resume cycle: one full cached run, so
+# every later lookup under the same (bytes, config, seed) key hits.
+cachedir="$workdir/cache"
+echo "==== warming result cache ===="
+"$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" \
+  --cache "$cachedir" > /dev/null
+
+kill_resume_round() {
+  local tag="$1"; shift
+  local journal="$workdir/$tag.jrnl"
+  local out="$workdir/$tag.txt"
   rm -f "$journal"
 
   # Journaled run in the background, killed after a random 5-120 ms.
   "$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" \
-    --journal "$journal" > /dev/null 2>&1 &
-  pid=$!
-  delay_ms=$((5 + RANDOM % 116))
+    --journal "$journal" "$@" > /dev/null 2>&1 &
+  local pid=$!
+  local delay_ms=$((5 + RANDOM % 116))
   sleep "$(printf '0.%03d' "$delay_ms")"
   if kill -9 "$pid" 2>/dev/null; then
     verdict="killed after ${delay_ms}ms"
@@ -60,18 +72,25 @@ for round in $(seq 1 "$rounds"); do
   # outcome: there is nothing to resume, so re-run from scratch.
   if [[ -s "$journal" ]]; then
     "$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" \
-      --resume "$journal" > "$out" 2>/dev/null
+      --resume "$journal" "$@" > "$out" 2>/dev/null
   else
-    "$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" > "$out"
+    "$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" \
+      "$@" > "$out" 2>/dev/null
     verdict="$verdict, no journal yet"
   fi
 
   strip_timing "$out" > "$out.stable"
   if ! diff -u "$workdir/golden.stable" "$out.stable"; then
-    echo "round $round: resumed summary DIFFERS from golden ($verdict)" >&2
+    echo "$tag: resumed summary DIFFERS from golden ($verdict)" >&2
     exit 1
   fi
-  echo "round $round: ok ($verdict)"
+  echo "$tag: ok ($verdict)"
+}
+
+for round in $(seq 1 "$rounds"); do
+  kill_resume_round "round$round"
+  kill_resume_round "round$round-cached" --cache "$cachedir"
 done
 
-echo "kill/resume harness passed: $rounds rounds byte-identical"
+echo "kill/resume harness passed: $rounds rounds (plain + warm-cache)" \
+  "byte-identical"
