@@ -78,6 +78,27 @@ std::string cache_from_env() {
   return (dir == nullptr) ? std::string() : std::string(dir);
 }
 
+// Optional process-isolation sandbox for the bench corpus, from the
+// DYDROID_ISOLATE env var (docs/ISOLATION.md). Same spelling rules as
+// DYDROID_RESUME; clean runs produce byte-identical reports either way,
+// so flipping this only moves the timing columns.
+bool isolate_from_env() {
+  const char* flag = std::getenv("DYDROID_ISOLATE");
+  if (flag == nullptr || flag[0] == '\0') return false;
+  const std::string text = support::to_lower(flag);
+  if (text == "1" || text == "true" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "no" || text == "off") {
+    return false;
+  }
+  std::fprintf(stderr,
+               "bench: ignoring invalid DYDROID_ISOLATE value \"%s\" "
+               "(want 1/true/yes/on or 0/false/no/off)\n",
+               flag);
+  return false;
+}
+
 }  // namespace
 
 malware::DroidNative make_trained_detector(int samples_per_family) {
@@ -129,6 +150,7 @@ Measurement measure_corpus(const malware::DroidNative* detector,
   runner_config.resume =
       !runner_config.journal_path.empty() && resume_from_env();
   runner_config.cache_dir = cache_from_env();
+  runner_config.isolate = isolate_from_env();
   const std::string trace_path = trace_from_env();
   if (!trace_path.empty()) support::set_trace_enabled(true);
   const driver::CorpusRunner runner(pipeline, runner_config);

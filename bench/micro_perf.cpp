@@ -319,6 +319,30 @@ void BM_CacheWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheWarm)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// Fork-per-app process isolation (docs/ISOLATION.md): the same corpus run
+// in-thread (Arg 0) and with every app forked into a sandboxed child
+// (Arg 1). The delta is pure containment cost — fork, pipe shipment of the
+// encoded outcome, and reap — since clean children produce byte-identical
+// reports to thread mode.
+void BM_IsolationOverhead(benchmark::State& state) {
+  support::set_log_level(support::LogLevel::Error);
+  appgen::CorpusConfig config;
+  config.scale = 0.02;
+  const auto corpus = appgen::generate_corpus(config);
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  driver::RunnerConfig runner_config;
+  runner_config.jobs = 1;
+  runner_config.isolate = state.range(0) != 0;
+  const driver::CorpusRunner runner(pipeline, runner_config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(corpus));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.apps.size()));
+  state.SetLabel(runner_config.isolate ? "isolate=on" : "isolate=off");
+}
+BENCHMARK(BM_IsolationOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// Serial-vs-parallel corpus comparison, written to BENCH_corpus.json:
 /// wall time and apps/sec with 1 worker and with DYDROID_JOBS/hardware
 /// workers, plus a byte-identity check over every per-app JSON report.
@@ -364,6 +388,33 @@ void emit_corpus_bench_json() {
       serial.wall_ms > 0
           ? 100.0 * (journaled.wall_ms - serial.wall_ms) / serial.wall_ms
           : 0.0;
+
+  // Fork-per-app isolation (docs/ISOLATION.md): same corpus, every app in
+  // a sandboxed child. Best-of-3 against the best serial run, same as the
+  // journal A/B — the overhead is fork + pipe + reap per app.
+  driver::RunnerConfig isolate_config;
+  isolate_config.jobs = 1;
+  isolate_config.isolate = true;
+  auto isolated = driver::CorpusRunner(pipeline, isolate_config).run(corpus);
+  for (int rep = 1; rep < 3; ++rep) {
+    auto isolate_rep =
+        driver::CorpusRunner(pipeline, isolate_config).run(corpus);
+    if (isolate_rep.wall_ms < isolated.wall_ms) {
+      isolated = std::move(isolate_rep);
+    }
+  }
+  const double isolation_overhead_pct =
+      serial.wall_ms > 0
+          ? 100.0 * (isolated.wall_ms - serial.wall_ms) / serial.wall_ms
+          : 0.0;
+  bool isolation_identical =
+      serial.outcomes.size() == isolated.outcomes.size();
+  for (std::size_t i = 0; isolation_identical && i < serial.outcomes.size();
+       ++i) {
+    isolation_identical =
+        core::report_to_json(serial.outcomes[i].report) ==
+        core::report_to_json(isolated.outcomes[i].report);
+  }
 
   // Content-addressed result cache (docs/CACHE.md): a cold run populates
   // the store, a second identical run serves every app from it. The warm
@@ -467,6 +518,8 @@ void emit_corpus_bench_json() {
                " \"apps_per_sec\": %.1f},\n"
                "  \"journaled\": {\"jobs\": 1, \"wall_ms\": %.2f,"
                " \"overhead_pct\": %.2f},\n"
+               "  \"isolation\": {\"jobs\": 1, \"wall_ms\": %.2f,"
+               " \"overhead_pct\": %.2f, \"reports_identical\": %s},\n"
                "  \"cache\": {\"cold_wall_ms\": %.2f, \"warm_wall_ms\": %.2f,"
                " \"hit_rate\": %.4f, \"warm_speedup\": %.2f,"
                " \"unique_binaries\": %zu, \"total_binaries\": %zu},\n"
@@ -481,6 +534,8 @@ void emit_corpus_bench_json() {
                static_cast<std::size_t>(std::thread::hardware_concurrency()),
                serial.wall_ms, serial_aps, parallel.threads, parallel.wall_ms,
                parallel_aps, journaled.wall_ms, journal_overhead_pct,
+               isolated.wall_ms, isolation_overhead_pct,
+               isolation_identical ? "true" : "false",
                cold.wall_ms, warm.wall_ms, cache_hit_rate, warm_speedup,
                warm.dedup.unique, warm.dedup.total,
                metrics_overhead_pct, metrics_json.c_str(), parses_per_app,
@@ -491,12 +546,13 @@ void emit_corpus_bench_json() {
   std::printf(
       "\nBENCH_corpus.json: %zu apps, serial %.1f ms (%.0f apps/s), "
       "parallel[%zu] %.1f ms (%.0f apps/s), speedup %.2fx, identical=%s, "
-      "journal overhead %+.1f%%, cache warm %.2fx (hit rate %.0f%%)\n",
+      "journal overhead %+.1f%%, isolation overhead %+.1f%%, "
+      "cache warm %.2fx (hit rate %.0f%%)\n",
       corpus.apps.size(), serial.wall_ms, serial_aps, parallel.threads,
       parallel.wall_ms, parallel_aps,
       parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
-      identical ? "true" : "false", journal_overhead_pct, warm_speedup,
-      100.0 * cache_hit_rate);
+      identical ? "true" : "false", journal_overhead_pct,
+      isolation_overhead_pct, warm_speedup, 100.0 * cache_hit_rate);
 }
 
 }  // namespace

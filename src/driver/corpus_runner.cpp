@@ -1,6 +1,7 @@
 #include "driver/corpus_runner.hpp"
 
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -10,11 +11,14 @@
 #include "appgen/generator.hpp"
 #include "driver/outcome_codec.hpp"
 #include "driver/result_cache.hpp"
+#include "driver/sandbox.hpp"
 #include "support/hash.hpp"
+#include "support/io.hpp"
 #include "support/journal.hpp"
 #include "support/log.hpp"
 #include "support/stopwatch.hpp"
 #include "support/strings.hpp"
+#include "support/subprocess.hpp"
 #include "support/trace.hpp"
 
 namespace dydroid::driver {
@@ -25,6 +29,29 @@ namespace {
 /// sites): distinct from every per-app session seed, deterministic in the
 /// runner's seed base.
 constexpr std::uint64_t kDriverFaultSalt = 0xD21BE9u;
+
+/// Salt for the per-app *sandbox* fault session (sandbox.spawn /
+/// sandbox.pipe / sandbox.crash): supervisor-side decisions draw from a
+/// stream derived from the app seed + attempt but distinct from the
+/// pipeline's in-child per-app session, so arming sandbox sites never
+/// perturbs the analysis itself.
+constexpr std::uint64_t kSandboxFaultSalt = 0x5ABD0Cull;
+
+/// When RunnerConfig::sandbox_deadline_ms is unset, the kill budget is a
+/// generous multiple of the pipeline's per-attempt wall budget: plenty of
+/// slack for fork + pipe overhead on a healthy app, still a hard bound on
+/// a hung one.
+constexpr double kSandboxDeadlineSlack = 10.0;
+constexpr double kSandboxDeadlinePadMs = 1000.0;
+
+/// A child SIGKILLed by neither our deadline supervisor is either the
+/// kernel OOM killer or an unrelated external kill (a chaos harness, an
+/// operator). The two are indistinguishable from the parent, so the
+/// supervisor transparently respawns the attempt a bounded number of
+/// times: a genuine memory hog dies again immediately (and is then
+/// classified killed_oom), while a randomly kill -9'd child just re-runs —
+/// which is what keeps tools/run_isolation_matrix.sh's summaries golden.
+constexpr int kExternalKillRespawns = 2;
 
 }  // namespace
 
@@ -41,6 +68,12 @@ void AggregateStats::absorb(const AppOutcome& outcome) {
   if (outcome.timed_out) ++timed_out;
   if (outcome.attempts > 1) ++retried;
   if (outcome.quarantined) ++quarantined;
+  switch (outcome.sandbox_fate) {
+    case SandboxFate::kNone: break;
+    case SandboxFate::kCrashed: ++sandbox_crashed; break;
+    case SandboxFate::kOomKilled: ++killed_oom; break;
+    case SandboxFate::kTimedOut: ++killed_timeout; break;
+  }
   if (outcome.cache_checked) {
     if (outcome.cache_hit) {
       ++cache_hits;
@@ -85,6 +118,9 @@ void AggregateStats::merge(const AggregateStats& other) {
   timed_out += other.timed_out;
   retried += other.retried;
   quarantined += other.quarantined;
+  sandbox_crashed += other.sandbox_crashed;
+  killed_oom += other.killed_oom;
+  killed_timeout += other.killed_timeout;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
   total_app_ms += other.total_app_ms;
@@ -316,6 +352,177 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
            outcome.report.status == core::DynamicStatus::kCrash;
   };
 
+  // --- process-isolation sandbox (docs/ISOLATION.md) -----------------------
+  const double sandbox_deadline_ms =
+      config_.sandbox_deadline_ms > 0.0
+          ? config_.sandbox_deadline_ms
+          : (options.max_app_wall_ms > 0.0
+                 ? options.max_app_wall_ms * kSandboxDeadlineSlack +
+                       kSandboxDeadlinePadMs
+                 : 0.0);
+
+  /// One sandboxed attempt: fork a child that runs the *identical*
+  /// run_attempt machinery (same seeds, same per-app fault session, same
+  /// crash-conversion belt — which is what makes clean exits byte-identical
+  /// to thread mode) and ships the encoded outcome back as one
+  /// magic-stamped CRC frame; the supervisor enforces the limits and
+  /// classifies whatever comes back. Returns the same "failed" predicate
+  /// run_attempt feeds the retry policy.
+  const auto sandbox_attempt = [&](const AppJob& job, AppOutcome& outcome,
+                                   std::uint32_t attempt, std::size_t index,
+                                   std::size_t worker_id) -> bool {
+    outcome.attempts = attempt + 1;
+    // The fate reflects the *final* attempt: a kill on attempt 0 that
+    // clears on the retry leaves the app clean, like any transient crash.
+    outcome.sandbox_fate = SandboxFate::kNone;
+    outcome.fatal_signal = 0;
+
+    const support::TraceContextScope trace_context(
+        static_cast<std::uint32_t>(index), attempt,
+        static_cast<std::uint32_t>(worker_id));
+
+    // Supervisor-side sandbox fault session (sandbox.spawn / sandbox.pipe /
+    // sandbox.crash): deterministic in (app seed, attempt), separate from
+    // the pipeline's per-app session inside the child.
+    std::optional<support::FaultSession> sandbox_faults;
+    std::optional<support::FaultScope> sandbox_scope;
+    if (options.faults != nullptr && !options.faults->empty()) {
+      sandbox_faults.emplace(
+          *options.faults,
+          support::fault_session_seed(outcome.seed ^ kSandboxFaultSalt,
+                                      attempt));
+      sandbox_scope.emplace(&*sandbox_faults);
+    }
+    // Drawn pre-fork so the decision is deterministic in the parent's
+    // stream; *executed* in the child as a real abort, so the injected
+    // crash exercises genuine signal-death classification end to end.
+    const bool crash_child =
+        support::fault_fire(support::FaultSite::kSandboxCrash);
+
+    support::SubprocessLimits limits;
+    limits.max_memory_bytes = config_.sandbox_mem_limit_bytes;
+    limits.cpu_time_s = config_.sandbox_cpu_limit_s;
+    limits.wall_deadline_ms = sandbox_deadline_ms;
+
+    const auto child_body = [&](int write_fd) -> int {
+      if (crash_child) std::abort();
+      AppOutcome child_outcome;
+      child_outcome.seed = outcome.seed;
+      (void)run_attempt(job, child_outcome, attempt, index, worker_id);
+      const support::Bytes stream =
+          encode_sandbox_result(index, child_outcome);
+      return support::write_fully(write_fd, stream.data(), stream.size()) ? 0
+                                                                          : 3;
+    };
+
+    // Accumulate the attempt's wall time (fork + analysis + reap) on every
+    // exit path, mirroring run_attempt's WallGuard.
+    const support::Stopwatch attempt_clock;
+    struct AttemptWall {
+      const support::Stopwatch* clock;
+      double* into;
+      ~AttemptWall() { *into += clock->elapsed_ms(); }
+    } wall_guard{&attempt_clock, &outcome.wall_ms};
+
+    /// Resolve a sandbox-killed/crashed attempt: synthesized crash report,
+    /// classified fate, fatal signal recorded. Always "failed".
+    const auto synthesize = [&](SandboxFate fate, int signal,
+                                std::string message) {
+      outcome.report = core::AppReport{};
+      outcome.report.status = core::DynamicStatus::kCrash;
+      outcome.report.crash_message = std::move(message);
+      outcome.sandbox_fate = fate;
+      outcome.fatal_signal = static_cast<std::uint8_t>(signal);
+      if (fate == SandboxFate::kTimedOut) outcome.timed_out = true;
+      support::count(fate == SandboxFate::kCrashed ? "sandbox.crashed"
+                                                   : "sandbox.killed");
+      return true;
+    };
+
+    for (int respawn = 0;; ++respawn) {
+      auto spawned = [&]() -> support::Result<support::Subprocess> {
+        const support::Span spawn_span("sandbox", "spawn");
+        if (support::fault_fire(support::FaultSite::kSandboxSpawn)) {
+          return support::Result<support::Subprocess>::failure(
+              support::fault_message(support::FaultSite::kSandboxSpawn));
+        }
+        return support::Subprocess::spawn(child_body, limits);
+      }();
+      if (!spawned.ok()) {
+        return synthesize(SandboxFate::kCrashed, 0,
+                          "sandbox: spawn failed: " + spawned.error());
+      }
+      support::SubprocessResult waited;
+      {
+        const support::Span wait_span("sandbox", "wait");
+        support::Subprocess child = std::move(spawned).take();
+        waited = child.wait();
+      }
+      if (waited.deadline_killed) {
+        return synthesize(
+            SandboxFate::kTimedOut, SIGKILL,
+            support::format(
+                "sandbox: killed after exceeding the %.0f ms wall deadline",
+                sandbox_deadline_ms));
+      }
+      if (waited.exited && waited.exit_code == support::kOomExitCode) {
+        return synthesize(SandboxFate::kOomKilled, 0,
+                          "sandbox: allocation failed under the memory limit");
+      }
+      if (!waited.exited && waited.term_signal == SIGKILL) {
+        // A SIGKILL that is not ours: the kernel OOM killer or an external
+        // kill, indistinguishable from here (see kExternalKillRespawns).
+        if (respawn < kExternalKillRespawns) {
+          support::count("sandbox.respawned");
+          continue;
+        }
+        return synthesize(SandboxFate::kOomKilled, SIGKILL,
+                          "sandbox: child SIGKILLed repeatedly "
+                          "(kernel out-of-memory kill)");
+      }
+      if (!waited.exited) {
+        return synthesize(SandboxFate::kCrashed, waited.term_signal,
+                          support::format("sandbox: child died on signal %d",
+                                          waited.term_signal));
+      }
+      if (waited.exit_code != 0) {
+        return synthesize(
+            SandboxFate::kCrashed, 0,
+            support::format("sandbox: child exited with code %d",
+                            waited.exit_code));
+      }
+      // Clean exit: decode the shipped outcome, honoring the torn-pipe
+      // injection site (which simulates a frame damaged in transit).
+      auto decoded =
+          support::fault_fire(support::FaultSite::kSandboxPipe)
+              ? support::Result<DecodedOutcome>::failure(
+                    support::fault_message(support::FaultSite::kSandboxPipe))
+              : decode_sandbox_result(waited.output);
+      if (!decoded.ok()) {
+        return synthesize(SandboxFate::kCrashed, 0, decoded.error());
+      }
+      AppOutcome shipped = std::move(decoded.value().outcome);
+      if (decoded.value().index != index || shipped.seed != outcome.seed) {
+        return synthesize(SandboxFate::kCrashed, 0,
+                          "sandbox: result frame for the wrong app");
+      }
+      outcome.report = std::move(shipped.report);
+      if (shipped.timed_out) outcome.timed_out = true;
+      return shipped.timed_out ||
+             outcome.report.status == core::DynamicStatus::kCrash;
+    }
+  };
+
+  /// Attempt dispatcher: the retry policy below is mode-blind; only the
+  /// mechanics of one attempt differ between thread and isolate mode.
+  const auto one_attempt = [&](const AppJob& job, AppOutcome& outcome,
+                               std::uint32_t attempt, std::size_t index,
+                               std::size_t worker_id) {
+    return config_.isolate
+               ? sandbox_attempt(job, outcome, attempt, index, worker_id)
+               : run_attempt(job, outcome, attempt, index, worker_id);
+  };
+
   /// Full per-app policy: timeout + single-retry-then-quarantine
   /// (docs/FAULTS.md), wrapped in the escaping-exception belt so that an
   /// exception leaking out of the attempt machinery itself still resolves
@@ -326,14 +533,14 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
                                std::size_t index, std::size_t worker) {
     outcome.seed = seed_of(index);
     try {
-      bool failed = run_attempt(job, outcome, 0, index, worker);
+      bool failed = one_attempt(job, outcome, 0, index, worker);
       if (failed && options.retry_on_crash) {
         // The retry's fault session is salted by the attempt, so transient
         // injected faults clear deterministically; if the retry fails too,
         // the app is quarantined — its final report keeps its Table II
         // bucket.
         support::count("runner.retry");
-        failed = run_attempt(job, outcome, 1, index, worker);
+        failed = one_attempt(job, outcome, 1, index, worker);
         outcome.quarantined = failed;
       }
     } catch (const std::exception& e) {
@@ -360,6 +567,10 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
         outcome.timed_out = true;
       }
     }
+    // A sandbox fate surviving to the final attempt always quarantines:
+    // an app the OS had to kill is excluded from trust even when
+    // retry_on_crash is off (docs/ISOLATION.md).
+    if (outcome.sandbox_fate != SandboxFate::kNone) outcome.quarantined = true;
     outcome.completed = true;
     support::count("runner.apps");
     if (outcome.timed_out) support::count("runner.timed_out");
@@ -415,6 +626,10 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
     support::count("cache.miss");
     analyze_app(job, outcome, index, worker_id);
     outcome.cache_checked = true;
+    // A sandbox-killed outcome is a fact about the sandbox environment
+    // (limits, deadline, external kills), not about the app content the
+    // key addresses — never cache it; the app recomputes next run.
+    if (outcome.sandbox_fate != SandboxFate::kNone) return;
     const DriverFaultGuard faults(driver_faults, journal_mutex);
     cache->insert(key, outcome);
   };

@@ -46,6 +46,24 @@ inline constexpr std::uint64_t kDefaultSeedBase = 0xBE9C0000ull;
   return base + static_cast<std::uint64_t>(index);
 }
 
+/// How the process sandbox disposed of an app's final attempt when
+/// RunnerConfig::isolate is on (docs/ISOLATION.md). kNone for thread-mode
+/// outcomes and for sandboxed apps whose child exited cleanly — including
+/// apps whose *analysis* crashed in the ordinary, in-process-catchable way.
+enum class SandboxFate : std::uint8_t {
+  kNone = 0,
+  /// The child died abnormally (fatal signal recorded in fatal_signal) or
+  /// returned a reserved failure code: a wild write, an abort, a torn
+  /// result pipe. The app keeps a synthesized crash report.
+  kCrashed = 1,
+  /// The child was killed for memory: its allocator failed under
+  /// RLIMIT_AS (clean reserved-code exit) or the kernel OOM-killed it.
+  kOomKilled = 2,
+  /// The supervisor SIGKILLed the child past the sandbox wall deadline —
+  /// the preemptive version of the max_app_wall_ms watchdog.
+  kTimedOut = 3,
+};
+
 /// One unit of corpus work. The APK is a refcounted Blob view (enqueueing
 /// never copies package bytes); the scenario closure is referenced, so the
 /// corpus must outlive the run() call.
@@ -80,6 +98,14 @@ struct AppOutcome {
   /// The outcome was restored from a resume journal instead of analyzed
   /// by this process. Not journaled.
   bool replayed = false;
+  /// How the sandbox disposed of the final attempt (kNone outside isolate
+  /// mode and for clean child exits). Journaled: replay and live runs
+  /// classify kills identically.
+  SandboxFate sandbox_fate = SandboxFate::kNone;
+  /// The signal that terminated the child when sandbox_fate is kCrashed /
+  /// kOomKilled / kTimedOut and the child died to a signal (0 when it
+  /// exited with a reserved failure code instead). Journaled.
+  std::uint8_t fatal_signal = 0;
   /// The outcome was served by the content-addressed result cache
   /// (docs/CACHE.md) instead of analyzed by this process. Not journaled.
   bool cache_hit = false;
@@ -114,6 +140,13 @@ struct AggregateStats {
   std::size_t timed_out = 0;    // apps exceeding max_app_wall_ms
   std::size_t retried = 0;      // apps re-run by the retry policy
   std::size_t quarantined = 0;  // apps still failing after the retry
+  // Process-isolation sandbox (docs/ISOLATION.md). Classified from the
+  // final attempt's SandboxFate; sandboxed kills also land in the Table II
+  // `crashed` bucket via their synthesized crash reports, so these split
+  // the crash population by *mechanism* rather than adding to `apps`.
+  std::size_t sandbox_crashed = 0;  // child signal deaths / reserved exits
+  std::size_t killed_oom = 0;       // memory-limit and kernel-OOM kills
+  std::size_t killed_timeout = 0;   // supervisor wall-deadline SIGKILLs
   // Result cache (docs/CACHE.md). Counted from cache-checked outcomes, so
   // cache_hits + cache_misses covers exactly the apps this process put
   // through the cache (journal-replayed apps never consult it).
@@ -186,6 +219,25 @@ struct RunnerConfig {
   std::uint64_t cache_max_bytes = 0;
   /// fsync the cache store after every insert; off by default.
   bool cache_fsync = false;
+
+  // --- process-isolation sandbox (docs/ISOLATION.md) -----------------------
+  /// Run every analysis attempt in a forked child (support::Subprocess)
+  /// instead of on the worker thread. Clean exits decode to outcomes
+  /// byte-identical to thread mode; signal deaths, OOM kills and wall-
+  /// deadline kills become classified, quarantined crash outcomes instead
+  /// of taking the driver down. Off by default: thread mode is untouched.
+  bool isolate = false;
+  /// Child RLIMIT_AS in bytes (0 = inherit). Must comfortably exceed the
+  /// parent's footprint — the limit covers the whole forked image. Ignored
+  /// under ASan/TSan (support::address_space_limit_supported).
+  std::uint64_t sandbox_mem_limit_bytes = 0;
+  /// Child RLIMIT_CPU in seconds (0 = inherit).
+  std::uint32_t sandbox_cpu_limit_s = 0;
+  /// Wall budget per sandboxed attempt, after which the supervisor
+  /// SIGKILLs the child. 0 derives a generous budget from the pipeline's
+  /// max_app_wall_ms (so a hung stage is preempted, not just recorded) and
+  /// means "no kill" when that is unset too.
+  double sandbox_deadline_ms = 0.0;
 };
 
 /// Thrown by CorpusRunner::run when the run itself dies mid-corpus: a

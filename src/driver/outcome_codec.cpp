@@ -22,6 +22,8 @@ void encode_outcome_into(std::size_t app_index, const AppOutcome& outcome,
   if (outcome.timed_out) flags |= 1u;
   if (outcome.quarantined) flags |= 2u;
   w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(outcome.sandbox_fate));
+  w.u8(outcome.fatal_signal);
   core::serialize_report(w, outcome.report);
 }
 
@@ -49,6 +51,12 @@ DecodedOutcome decode_outcome(std::span<const std::uint8_t> payload) {
   if (flags > 3) throw ParseError("outcome codec: bad flags");
   decoded.outcome.timed_out = (flags & 1u) != 0;
   decoded.outcome.quarantined = (flags & 2u) != 0;
+  const std::uint8_t fate = r.u8();
+  if (fate > static_cast<std::uint8_t>(SandboxFate::kTimedOut)) {
+    throw ParseError("outcome codec: bad sandbox fate");
+  }
+  decoded.outcome.sandbox_fate = static_cast<SandboxFate>(fate);
+  decoded.outcome.fatal_signal = r.u8();
   decoded.outcome.report = core::deserialize_report(r);
   if (!r.at_end()) {
     throw ParseError("outcome codec: trailing bytes after report");

@@ -17,7 +17,10 @@
 namespace dydroid::driver {
 
 /// Journal payload format version (first byte of every record payload).
-inline constexpr std::uint8_t kOutcomeCodecVersion = 1;
+/// v2 appended the sandbox classification (SandboxFate + fatal signal,
+/// docs/ISOLATION.md) after the flags byte; v1 records are rejected, which
+/// also invalidates pre-sandbox result caches via the config fingerprint.
+inline constexpr std::uint8_t kOutcomeCodecVersion = 2;
 
 /// Encode one finished outcome as a journal record payload.
 [[nodiscard]] support::Bytes encode_outcome(std::size_t app_index,

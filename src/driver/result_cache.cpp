@@ -11,6 +11,7 @@
 #include "driver/outcome_codec.hpp"
 #include "malware/droidnative.hpp"
 #include "support/fault.hpp"
+#include "support/io.hpp"
 
 namespace dydroid::driver {
 
@@ -287,6 +288,13 @@ support::Status ResultCache::seal() {
     return support::Status::failure("cache: cannot rename " + tmp_path +
                                     " over " + store_path_ + ": " +
                                     ec.message());
+  }
+  // The rename is only crash-durable once the parent directory is fsynced;
+  // without it the swap itself can vanish after power loss and the next
+  // open would replay the garbage-laden pre-compaction file.
+  if (const auto synced = support::fsync_parent_dir(store_path_);
+      !synced.ok()) {
+    return synced;
   }
   dirty_ = false;
   return status;

@@ -1,0 +1,49 @@
+#include "driver/sandbox.hpp"
+
+#include "support/journal.hpp"
+#include "support/strings.hpp"
+
+namespace dydroid::driver {
+
+support::Bytes encode_sandbox_result(std::size_t app_index,
+                                     const AppOutcome& outcome) {
+  support::ByteWriter payload;
+  payload.reserve(512);
+  encode_outcome_into(app_index, outcome, payload);
+  support::ByteWriter stream;
+  stream.reserve(payload.size() + kSandboxMagic.size() +
+                 support::kJournalFrameOverhead);
+  stream.raw(kSandboxMagic);
+  support::encode_frame(stream, payload.data());
+  return stream.take();
+}
+
+support::Result<DecodedOutcome> decode_sandbox_result(
+    std::span<const std::uint8_t> data) {
+  if (data.empty()) {
+    return support::Result<DecodedOutcome>::failure(
+        "sandbox: empty result pipe (child died before writing)");
+  }
+  auto parsed = support::parse_journal(data, kSandboxMagic);
+  if (!parsed.ok()) {
+    return support::Result<DecodedOutcome>::failure("sandbox: " +
+                                                    parsed.error());
+  }
+  const auto& read = parsed.value();
+  if (read.records.size() != 1 || read.torn()) {
+    return support::Result<DecodedOutcome>::failure(support::format(
+        "sandbox: expected one intact result frame, got %zu record(s) with "
+        "%zu damaged trailing byte(s)",
+        read.records.size(), read.bytes_discarded));
+  }
+  try {
+    return decode_outcome(read.records.front());
+  } catch (const std::exception& e) {
+    // A payload that passed its CRC but fails to decode (version skew,
+    // deliberately crafted fuzz input): same quarantine path as a tear.
+    return support::Result<DecodedOutcome>::failure(
+        std::string("sandbox: corrupt result payload: ") + e.what());
+  }
+}
+
+}  // namespace dydroid::driver

@@ -1,0 +1,47 @@
+// Sandbox result-pipe protocol (docs/ISOLATION.md).
+//
+// In isolate mode each analysis attempt runs in a forked child
+// (support::Subprocess); the only thing that crosses back to the
+// supervisor is a byte stream on a pipe. A crashing child can die
+// mid-write, so the stream must be self-validating: the child ships the
+// standard outcome_codec payload inside the same CRC frame layer the
+// write-ahead journal uses, stamped with the sandbox's own magic —
+//
+//   stream := magic frame
+//   magic  := "DYSBOX01"                      (8 bytes)
+//   frame  := len:u32 crc:u32 payload[len]    (crc = CRC-32 of payload)
+//
+// — and the supervisor re-reads it with the journal's parse_journal. A
+// torn or bit-flipped stream (child killed mid-write, injected
+// sandbox.pipe fault, fuzzed frames) is detected exactly as a torn
+// journal tail is, and degrades to a quarantined crash outcome: the run
+// is never corrupted by whatever a dying child managed to emit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "driver/outcome_codec.hpp"
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+
+namespace dydroid::driver {
+
+/// Pipe-stream magic: "DYSBOX01" (bump the digits on protocol changes).
+inline constexpr std::array<std::uint8_t, 8> kSandboxMagic = {
+    'D', 'Y', 'S', 'B', 'O', 'X', '0', '1'};
+
+/// Encode one finished attempt as the complete pipe stream the child
+/// writes before exiting: magic + one CRC frame of outcome_codec payload.
+[[nodiscard]] support::Bytes encode_sandbox_result(std::size_t app_index,
+                                                   const AppOutcome& outcome);
+
+/// Decode the bytes the supervisor drained from the pipe. Fails (never
+/// throws) on a missing/wrong magic, a torn or bit-flipped frame, trailing
+/// garbage, anything but exactly one record, or an undecodable payload —
+/// the caller quarantines the app on any failure.
+[[nodiscard]] support::Result<DecodedOutcome> decode_sandbox_result(
+    std::span<const std::uint8_t> data);
+
+}  // namespace dydroid::driver

@@ -27,6 +27,9 @@ constexpr std::array<SiteName, kFaultSiteCount> kSiteNames = {{
     {FaultSite::kDriverKill, "driver.kill"},
     {FaultSite::kCacheRead, "cache.read"},
     {FaultSite::kCacheWrite, "cache.write"},
+    {FaultSite::kSandboxSpawn, "sandbox.spawn"},
+    {FaultSite::kSandboxPipe, "sandbox.pipe"},
+    {FaultSite::kSandboxCrash, "sandbox.crash"},
 }};
 
 /// splitmix64-style avalanche; the decision function's mixing core.

@@ -56,9 +56,16 @@ enum class FaultSite : std::uint8_t {
   kDriverKill,       // CorpusRunner checked boundary — driver dies mid-run
   kCacheRead,        // driver::ResultCache::lookup — read error, treat as miss
   kCacheWrite,       // driver::ResultCache::insert — write error, entry dropped
+  // Sandbox sites (docs/ISOLATION.md). spawn/pipe fire in the supervisor's
+  // per-app sandbox session (fork failure, torn result frame); crash fires
+  // in the *child*, which aborts so the supervisor classifies a real
+  // signal death.
+  kSandboxSpawn,     // CorpusRunner sandbox — fork fails, app quarantined
+  kSandboxPipe,      // sandbox result pipe — torn frame, recover + quarantine
+  kSandboxCrash,     // sandbox child — deterministic abort (signal death)
 };
 
-inline constexpr std::size_t kFaultSiteCount = 12;
+inline constexpr std::size_t kFaultSiteCount = 15;
 
 /// All sites, in enum order (the injection-site catalog).
 const std::array<FaultSite, kFaultSiteCount>& all_fault_sites();

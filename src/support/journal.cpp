@@ -7,6 +7,7 @@
 
 #include "support/fault.hpp"
 #include "support/hash.hpp"
+#include "support/io.hpp"
 #include "support/stopwatch.hpp"
 #include "support/trace.hpp"
 
@@ -14,7 +15,6 @@
 #error "support::Journal requires a POSIX platform"
 #else
 #include <fcntl.h>
-#include <sys/uio.h>
 #include <unistd.h>
 #endif
 
@@ -24,49 +24,6 @@ namespace {
 
 std::string errno_message(const char* what, const std::string& path) {
   return std::string(what) + " " + path + ": " + std::strerror(errno);
-}
-
-/// write(2) the whole buffer, retrying on EINTR / short writes.
-bool write_fully(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// writev(2) header + payload in one call, retrying on EINTR / short
-/// writes. The common case is a single syscall with zero copies; the
-/// fallback for a short write falls back to write_fully on the remainder.
-bool writev_fully(int fd, const std::uint8_t* header, std::size_t header_size,
-                  const std::uint8_t* payload, std::size_t payload_size) {
-  for (;;) {
-    iovec iov[2];
-    iov[0].iov_base = const_cast<std::uint8_t*>(header);
-    iov[0].iov_len = header_size;
-    iov[1].iov_base = const_cast<std::uint8_t*>(payload);
-    iov[1].iov_len = payload_size;
-    const ssize_t n = ::writev(fd, iov, 2);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    auto written = static_cast<std::size_t>(n);
-    if (written >= header_size + payload_size) return true;
-    // Short write (rare on regular files): finish the remainder.
-    if (written < header_size) {
-      header += written;
-      header_size -= written;
-      continue;
-    }
-    written -= header_size;
-    return write_fully(fd, payload + written, payload_size - written);
-  }
 }
 
 /// Little-endian frame header: u32 payload length, u32 CRC-32.
@@ -229,9 +186,35 @@ Result<JournalReadResult> parse_journal(std::span<const std::uint8_t> data,
   return result;
 }
 
+void encode_frame(ByteWriter& w, std::span<const std::uint8_t> payload) {
+  std::uint8_t header[kJournalFrameOverhead];
+  encode_frame_header(header, static_cast<std::uint32_t>(payload.size()),
+                      crc32(payload));
+  w.raw(header);
+  w.raw(payload);
+}
+
 Status truncate_journal(const std::string& path, std::size_t bytes_recovered) {
-  if (::truncate(path.c_str(), static_cast<off_t>(bytes_recovered)) != 0) {
+  const ssize_t truncated = retry_eintr([&] {
+    return static_cast<ssize_t>(
+        ::truncate(path.c_str(), static_cast<off_t>(bytes_recovered)));
+  });
+  if (truncated != 0) {
     return Status::failure(errno_message("journal: cannot truncate", path));
+  }
+  // Make the chop durable before anyone appends after it: fsync the file
+  // (the new, shorter length) and its parent directory. Without the
+  // directory fsync the metadata swap can vanish after power loss, and a
+  // later reader would walk straight back into the damaged tail.
+  const int fd = static_cast<int>(retry_eintr([&] {
+    return static_cast<ssize_t>(::open(path.c_str(), O_RDONLY));
+  }));
+  if (fd >= 0) {
+    (void)retry_eintr([&] { return static_cast<ssize_t>(::fsync(fd)); });
+    ::close(fd);
+  }
+  if (const Status synced = fsync_parent_dir(path); !synced.ok()) {
+    return synced;
   }
   return {};
 }

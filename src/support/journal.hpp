@@ -142,4 +142,11 @@ Result<JournalReadResult> parse_journal(
     std::span<const std::uint8_t> data,
     const std::array<std::uint8_t, 8>& magic = kJournalMagic);
 
+/// Append one CRC frame (len + crc + payload) for `payload` to an
+/// in-memory writer. Produces exactly the bytes JournalWriter::append puts
+/// on disk, so any stream stamped with a frame-layer magic — a journal
+/// file, a cache store, the sandbox result pipe (docs/ISOLATION.md) — can
+/// be framed without a file descriptor and read back with parse_journal.
+void encode_frame(ByteWriter& w, std::span<const std::uint8_t> payload);
+
 }  // namespace dydroid::support

@@ -38,4 +38,7 @@ void log(LogLevel level, std::string_view component, std::string_view message) {
                static_cast<int>(message.size()), message.data());
 }
 
+void log_fork_lock() { g_sink_mutex.lock(); }
+void log_fork_unlock() { g_sink_mutex.unlock(); }
+
 }  // namespace dydroid::support

@@ -13,6 +13,13 @@ LogLevel log_level();
 
 void log(LogLevel level, std::string_view component, std::string_view message);
 
+/// Fork-safety hooks used by support::Subprocess via pthread_atfork: the
+/// sink mutex is acquired before fork and released in both parent and
+/// child, so a child forked while another thread is mid-log never inherits
+/// a locked sink (a classic post-fork deadlock).
+void log_fork_lock();
+void log_fork_unlock();
+
 inline void log_debug(std::string_view c, std::string_view m) {
   log(LogLevel::Debug, c, m);
 }

@@ -1,0 +1,214 @@
+#include "support/subprocess.hpp"
+
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <utility>
+
+#include "support/io.hpp"
+#include "support/log.hpp"
+
+#if defined(_WIN32)
+#error "support::Subprocess requires a POSIX platform"
+#else
+#include <poll.h>
+#include <pthread.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace dydroid::support {
+
+namespace {
+
+// The supervisor forks from worker threads, so a sibling thread can hold
+// the log sink mutex at fork time; the atfork handlers take it across the
+// fork so both sides resume with a consistent, unlocked sink. Registered
+// once, lazily, on the first spawn.
+void install_fork_handlers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    ::pthread_atfork(&log_fork_lock, &log_fork_unlock, &log_fork_unlock);
+  });
+}
+
+[[noreturn]] void oom_exit() { ::_exit(kOomExitCode); }
+
+/// Child-side setup between fork and body. Only async-signal-safe calls
+/// plus setrlimit/set_new_handler; the child is single-threaded here.
+void child_setup(const SubprocessLimits& limits) {
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  rlimit core{0, 0};
+  (void)::setrlimit(RLIMIT_CORE, &core);
+  if (limits.cpu_time_s > 0) {
+    rlimit cpu{limits.cpu_time_s, limits.cpu_time_s};
+    (void)::setrlimit(RLIMIT_CPU, &cpu);
+  }
+  if (limits.max_memory_bytes > 0 && address_space_limit_supported()) {
+    rlimit as{static_cast<rlim_t>(limits.max_memory_bytes),
+              static_cast<rlim_t>(limits.max_memory_bytes)};
+    (void)::setrlimit(RLIMIT_AS, &as);
+  }
+  std::set_new_handler(&oom_exit);
+}
+
+}  // namespace
+
+bool address_space_limit_supported() {
+  // ASan reserves terabytes of shadow address space and TSan's runtime
+  // aborts (instead of returning nullptr) on allocation failure, so under
+  // either sanitizer RLIMIT_AS would kill every child at startup or turn
+  // clean OOM exits into uncatchable runtime aborts.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+  return false;
+#else
+  return true;
+#endif
+#else
+  return true;
+#endif
+}
+
+Result<Subprocess> Subprocess::spawn(const std::function<int(int)>& body,
+                                     const SubprocessLimits& limits) {
+  install_fork_handlers();
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    return Result<Subprocess>::failure(std::string("sandbox: pipe failed: ") +
+                                       std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const std::string message =
+        std::string("sandbox: fork failed: ") + std::strerror(errno);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return Result<Subprocess>::failure(message);
+  }
+  if (pid == 0) {
+    // Child. Never returns: the body's result (or a reserved failure code)
+    // goes out through _exit so no inherited destructor or stdio flush
+    // runs in the forked image.
+    ::close(fds[0]);
+    child_setup(limits);
+    int code = kChildExceptionExitCode;
+    try {
+      code = body(fds[1]);
+    } catch (...) {
+      code = kChildExceptionExitCode;
+    }
+    ::_exit(code);
+  }
+  ::close(fds[1]);
+  return Subprocess(static_cast<int>(pid), fds[0], limits.wall_deadline_ms);
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      read_fd_(std::exchange(other.read_fd_, -1)),
+      deadline_ms_(other.deadline_ms_),
+      clock_(other.clock_) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    this->~Subprocess();
+    pid_ = std::exchange(other.pid_, -1);
+    read_fd_ = std::exchange(other.read_fd_, -1);
+    deadline_ms_ = other.deadline_ms_;
+    clock_ = other.clock_;
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+  if (pid_ > 0) {
+    (void)::kill(pid_, SIGKILL);
+    int status = 0;
+    (void)retry_eintr([&] {
+      return static_cast<ssize_t>(::waitpid(pid_, &status, 0));
+    });
+    pid_ = -1;
+  }
+}
+
+SubprocessResult Subprocess::wait() {
+  SubprocessResult result;
+  if (pid_ <= 0) return result;
+
+  // Phase 1: drain the pipe until EOF (the child exiting closes the last
+  // write end), killing the child the moment the wall deadline passes.
+  // Draining concurrently is what keeps a chatty child from deadlocking
+  // against a full pipe buffer, and poll's timeout is what bounds how late
+  // a deadline kill can land (never more than one poll quantum).
+  bool eof = false;
+  while (!eof && read_fd_ >= 0) {
+    if (deadline_ms_ > 0.0 && !result.deadline_killed &&
+        clock_.elapsed_ms() >= deadline_ms_) {
+      (void)::kill(pid_, SIGKILL);
+      result.deadline_killed = true;
+    }
+    int timeout_ms = 100;
+    if (deadline_ms_ > 0.0 && !result.deadline_killed) {
+      const double remaining = deadline_ms_ - clock_.elapsed_ms();
+      timeout_ms = static_cast<int>(
+          std::min(100.0, std::max(1.0, std::ceil(remaining))));
+    }
+    pollfd pfd{read_fd_, POLLIN, 0};
+    const int ready = static_cast<int>(retry_eintr(
+        [&] { return static_cast<ssize_t>(::poll(&pfd, 1, timeout_ms)); }));
+    if (ready < 0) {
+      result.output_truncated = true;
+      break;
+    }
+    if (ready == 0) continue;  // timeout: re-check the deadline
+    std::uint8_t chunk[4096];
+    const ssize_t n =
+        retry_eintr([&] { return ::read(read_fd_, chunk, sizeof chunk); });
+    if (n < 0) {
+      result.output_truncated = true;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    result.output.insert(result.output.end(), chunk, chunk + n);
+  }
+  ::close(read_fd_);
+  read_fd_ = -1;
+
+  // Phase 2: reap. After EOF (or a drain error plus our own SIGKILL above)
+  // the child is dead or dying, so this waitpid terminates promptly.
+  if (!eof && !result.deadline_killed) {
+    // The pipe died without a clean EOF and no deadline fired: make sure
+    // the child cannot outlive its supervisor before blocking in waitpid.
+    (void)::kill(pid_, SIGKILL);
+  }
+  int status = 0;
+  const ssize_t reaped = retry_eintr(
+      [&] { return static_cast<ssize_t>(::waitpid(pid_, &status, 0)); });
+  pid_ = -1;
+  result.wall_ms = clock_.elapsed_ms();
+  if (reaped < 0) return result;  // already reaped elsewhere (never expected)
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.term_signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+}  // namespace dydroid::support

@@ -1,0 +1,121 @@
+// Fork-per-task process sandbox (docs/ISOLATION.md).
+//
+// DyDroid survived its 58,739-app crawl because every sample ran in a
+// disposable environment: an app that crashes, hangs or exhausts memory
+// must never take the measurement infrastructure down with it. Subprocess
+// is that boundary for the corpus driver: it forks a child, applies hard
+// resource limits, runs a caller-provided body, collects whatever the body
+// wrote to a result pipe, and supervises the child with an EINTR-safe
+// waitpid loop that SIGKILLs anything outliving its wall deadline.
+//
+// Child-side contract (applied before the body runs):
+//   * RLIMIT_CORE = 0 — a crashing child never litters core dumps.
+//   * RLIMIT_AS (when max_memory_bytes > 0 and the build supports it; see
+//     address_space_limit_supported) and RLIMIT_CPU (cpu_time_s > 0).
+//   * std::set_new_handler(_exit(kOomExitCode)) — an allocation failure
+//     exits with a reserved code instead of unwinding, so the supervisor
+//     can classify out-of-memory deaths distinctly from crashes.
+//   * SIGINT/SIGTERM reset to SIG_DFL — the parent's graceful-shutdown
+//     handlers must not leak into children.
+//   * The body's return value becomes the exit code; an exception escaping
+//     the body exits with kChildExceptionExitCode. The child always leaves
+//     via _exit(2): no destructors, no atexit handlers, no double-flushed
+//     stdio buffers inherited from the parent.
+//
+// Parent-side contract: wait() drains the result pipe with poll-bounded
+// reads (a child writing more than the pipe buffer never deadlocks),
+// enforces wall_deadline_ms with SIGKILL, reaps the child with retrying
+// waitpid, and reports the raw facts — exit code, terminating signal,
+// whether the deadline fired, everything the child managed to write. The
+// driver layers crash/OOM/timeout *classification* on top
+// (driver/sandbox.hpp).
+//
+// fork() in a multithreaded parent: the corpus driver forks from worker
+// threads. glibc's malloc is made fork-safe by its own atfork handlers;
+// the support logger's sink mutex is guarded by handlers this file
+// registers (log_fork_lock/unlock), and children never touch the journal,
+// cache or trace registries (parent-side state).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace dydroid::support {
+
+/// Reserved child exit codes (chosen high to stay clear of app-meaningful
+/// small codes; a body returning them would be misclassified, so don't).
+inline constexpr int kOomExitCode = 97;             // new_handler fired
+inline constexpr int kChildExceptionExitCode = 96;  // exception escaped body
+
+/// Hard resource limits applied to the child before the body runs.
+struct SubprocessLimits {
+  /// RLIMIT_AS in bytes; 0 inherits the parent's limit. The limit covers
+  /// the whole address space (the forked image included), so it must
+  /// comfortably exceed the parent's footprint. Ignored under ASan/TSan,
+  /// whose shadow mappings are incompatible with RLIMIT_AS.
+  std::uint64_t max_memory_bytes = 0;
+  /// RLIMIT_CPU in seconds; 0 inherits. Exceeding it delivers SIGXCPU.
+  std::uint32_t cpu_time_s = 0;
+  /// Supervisor wall deadline in ms; past it the child is SIGKILLed and
+  /// the result is flagged deadline_killed. 0 = wait forever.
+  double wall_deadline_ms = 0.0;
+};
+
+/// True when this build can enforce RLIMIT_AS (false under ASan/TSan).
+[[nodiscard]] bool address_space_limit_supported();
+
+/// Raw supervision facts for one reaped child.
+struct SubprocessResult {
+  /// WIFEXITED: the child left via _exit; exit_code holds the status.
+  bool exited = false;
+  int exit_code = 0;
+  /// WIFSIGNALED: the terminating signal (0 when exited).
+  int term_signal = 0;
+  /// The supervisor SIGKILLed the child past wall_deadline_ms. When set,
+  /// term_signal is the kill signal, not a crash of the child's own.
+  bool deadline_killed = false;
+  /// Everything the child wrote to the result pipe before dying.
+  Bytes output;
+  /// A read error truncated the pipe drain (output holds the prefix).
+  bool output_truncated = false;
+  /// Wall time from fork to reap.
+  double wall_ms = 0.0;
+};
+
+class Subprocess {
+ public:
+  /// Fork a child that runs `body(write_fd)` under `limits` and exits with
+  /// its return value. Fails (no child) when pipe(2) or fork(2) fail.
+  static Result<Subprocess> spawn(const std::function<int(int)>& body,
+                                  const SubprocessLimits& limits);
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  /// An unwaited child is SIGKILLed and reaped — destruction never leaks
+  /// zombies or leaves orphans running.
+  ~Subprocess();
+
+  /// Drain the pipe, enforce the deadline, reap the child. Call once.
+  [[nodiscard]] SubprocessResult wait();
+
+  /// Child pid (for external-kill tests and diagnostics).
+  [[nodiscard]] int pid() const { return pid_; }
+
+ private:
+  Subprocess(int pid, int read_fd, double deadline_ms)
+      : pid_(pid), read_fd_(read_fd), deadline_ms_(deadline_ms) {}
+
+  int pid_ = -1;
+  int read_fd_ = -1;
+  double deadline_ms_ = 0.0;
+  Stopwatch clock_;
+};
+
+}  // namespace dydroid::support

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "support/hash.hpp"
+#include "support/io.hpp"
 #include "support/journal.hpp"
 
 namespace dydroid::support {
@@ -281,6 +282,21 @@ TEST(Journal, TruncateThenAppendResumesCleanly) {
   EXPECT_EQ(reread.value().records[0], bytes_of({1, 2, 3, 4}));
   EXPECT_EQ(reread.value().records[1], bytes_of({5, 6}));
   EXPECT_EQ(reread.value().records[2], bytes_of({42}));
+}
+
+TEST(Journal, TruncateFsyncsTheParentDirectory) {
+  // A truncate(2) is only crash-durable once the parent directory is
+  // fsynced; dir_fsyncs() is the test hook proving that path actually ran
+  // (the bug was a silent no-op: both files synced, the directory not).
+  TempFile file("dirsync");
+  const Bytes intact = intact_journal(file.path());
+  write_file(file.path(), Bytes(intact.begin(), intact.end() - 2));  // tear
+  auto read = read_journal(file.path());
+  ASSERT_TRUE(read.ok());
+  const std::uint64_t before = dir_fsyncs();
+  ASSERT_TRUE(
+      truncate_journal(file.path(), read.value().bytes_recovered).ok());
+  EXPECT_GT(dir_fsyncs(), before);
 }
 
 TEST(Journal, RecoveredByteAccountingAddsUp) {

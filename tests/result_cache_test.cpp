@@ -23,6 +23,7 @@
 #include "driver/result_cache.hpp"
 #include "support/fault.hpp"
 #include "support/hash.hpp"
+#include "support/io.hpp"
 #include "support/journal.hpp"
 #include "support/log.hpp"
 
@@ -160,6 +161,21 @@ TEST(ResultCache, HitMissSemanticsAndPersistence) {
   EXPECT_EQ(hit->report.package, "com.example.one");
   // A different seed on the same bytes+config is a different identity.
   EXPECT_FALSE(cache.lookup(key_of("app-one", 43)).has_value());
+}
+
+TEST(ResultCache, SealCompactionFsyncsTheParentDirectory) {
+  // Seal-time compaction swaps the store via an atomic rename; the rename
+  // is only crash-durable once the directory itself is fsynced. dir_fsyncs()
+  // proves the path actually ran on a dirty seal.
+  TempCacheDir dir("dirsync");
+  auto cache = open_or_die(dir.path());
+  // An overwrite dirties the store: the superseded frame must be compacted
+  // away at seal time, which is what triggers the rename + directory sync.
+  cache.insert(key_of("app", 1), make_outcome("com.example.v1", 1));
+  cache.insert(key_of("app", 1), make_outcome("com.example.v2", 1));
+  const std::uint64_t before = support::dir_fsyncs();
+  ASSERT_TRUE(cache.seal().ok());
+  EXPECT_GT(support::dir_fsyncs(), before);
 }
 
 TEST(ResultCache, OverwriteIsLastWriterWins) {

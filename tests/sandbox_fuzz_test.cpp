@@ -1,0 +1,147 @@
+// Sandbox pipe-protocol fuzz belt (tier 2, docs/ISOLATION.md): whatever a
+// dying child managed to emit — torn, bit-flipped, duplicated, padded or
+// plain garbage — decode_sandbox_result must either reject it cleanly or
+// return the original outcome; it must never throw, and a full corpus run
+// under injected pipe corruption must degrade app-by-app (quarantined
+// crash outcomes) without corrupting any other app's report.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "appgen/corpus.hpp"
+#include "core/report_json.hpp"
+#include "driver/corpus_runner.hpp"
+#include "driver/sandbox.hpp"
+#include "support/fault.hpp"
+
+namespace dydroid::driver {
+namespace {
+
+AppOutcome sample_outcome() {
+  AppOutcome outcome;
+  outcome.report.package = "com.sandbox.fuzz";
+  outcome.report.status = core::DynamicStatus::kExercised;
+  outcome.seed = 0xBE9C0011ull;
+  outcome.wall_ms = 3.25;
+  outcome.attempts = 1;
+  return outcome;
+}
+
+/// True when `decoded` reproduces the sample stream's content exactly.
+bool matches_sample(const DecodedOutcome& decoded, std::size_t index,
+                    const AppOutcome& original) {
+  return decoded.index == index && decoded.outcome.seed == original.seed &&
+         core::report_to_json(decoded.outcome.report) ==
+             core::report_to_json(original.report);
+}
+
+TEST(SandboxFuzz, EveryTruncationFailsCleanly) {
+  const AppOutcome outcome = sample_outcome();
+  const support::Bytes stream = encode_sandbox_result(9, outcome);
+  for (std::size_t keep = 0; keep < stream.size(); ++keep) {
+    const auto decoded = decode_sandbox_result(
+        std::span<const std::uint8_t>(stream.data(), keep));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << keep << " bytes decoded";
+  }
+}
+
+TEST(SandboxFuzz, EverySingleBitFlipIsRejectedOrEquivalent) {
+  const AppOutcome outcome = sample_outcome();
+  const support::Bytes stream = encode_sandbox_result(9, outcome);
+  for (std::size_t byte = 0; byte < stream.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      support::Bytes mutated = stream;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      // Must not throw; a CRC-colliding accept would have to decode to the
+      // same content, anything else is corruption leaking through.
+      const auto decoded = decode_sandbox_result(mutated);
+      if (decoded.ok()) {
+        EXPECT_TRUE(matches_sample(decoded.value(), 9, outcome))
+            << "flip at byte " << byte << " bit " << bit
+            << " decoded to different content";
+      }
+    }
+  }
+}
+
+TEST(SandboxFuzz, StructuralMutationsAreRejected) {
+  const AppOutcome outcome = sample_outcome();
+  const support::Bytes stream = encode_sandbox_result(9, outcome);
+
+  // A duplicated frame: two records where the protocol demands exactly one.
+  support::Bytes doubled = stream;
+  doubled.insert(doubled.end(), stream.begin() + 8, stream.end());
+  EXPECT_FALSE(decode_sandbox_result(doubled).ok());
+
+  // Trailing garbage after the valid frame parses as a torn second frame.
+  support::Bytes padded = stream;
+  for (int i = 0; i < 11; ++i) padded.push_back(0xAB);
+  EXPECT_FALSE(decode_sandbox_result(padded).ok());
+
+  // Wrong magic: a journal file (or anything else) fed to the sandbox.
+  support::Bytes wrong_magic = stream;
+  wrong_magic[0] = 'X';
+  EXPECT_FALSE(decode_sandbox_result(wrong_magic).ok());
+
+  // Pure noise of assorted sizes.
+  for (const std::size_t size : {1u, 8u, 16u, 64u, 333u}) {
+    support::Bytes noise(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      noise[i] = static_cast<std::uint8_t>(i * 37u + 5u);
+    }
+    EXPECT_FALSE(decode_sandbox_result(noise).ok()) << "noise size " << size;
+  }
+}
+
+TEST(SandboxFuzz, PipeCorruptionNeverCorruptsTheRun) {
+  appgen::CorpusConfig corpus_config;
+  corpus_config.scale = 0.002;
+  const auto corpus = appgen::generate_corpus(corpus_config);
+
+  // Thread-mode golden: what every app reports when nothing is injected.
+  const core::DyDroid clean{core::PipelineOptions{}};
+  RunnerConfig thread_config;
+  thread_config.jobs = 2;
+  const auto golden = CorpusRunner(clean, thread_config).run(corpus);
+
+  const auto plan_result = support::FaultPlan::parse("sandbox.pipe=p:0.5");
+  ASSERT_TRUE(plan_result.ok()) << plan_result.error();
+  const auto& plan = plan_result.value();
+  core::PipelineOptions options;
+  options.faults = &plan;
+  const core::DyDroid faulty(std::move(options));
+
+  RunnerConfig config;
+  config.jobs = 2;
+  config.isolate = true;
+  const auto result = CorpusRunner(faulty, config).run(corpus);
+
+  ASSERT_EQ(result.outcomes.size(), corpus.apps.size());
+  std::size_t torn = 0;
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const auto& outcome = result.outcomes[i];
+    if (outcome.sandbox_fate != SandboxFate::kNone) {
+      // The damaged frame cost this app its result — quarantined crash —
+      // and nothing else.
+      ++torn;
+      EXPECT_EQ(outcome.sandbox_fate, SandboxFate::kCrashed);
+      EXPECT_TRUE(outcome.quarantined);
+      EXPECT_EQ(outcome.report.status, core::DynamicStatus::kCrash);
+    } else {
+      EXPECT_EQ(core::report_to_json(outcome.report),
+                core::report_to_json(golden.outcomes[i].report))
+          << "untouched app " << i << " diverged";
+    }
+  }
+  // p:0.5 over a few dozen apps: both populations must be non-empty for
+  // the assertions above to mean anything.
+  EXPECT_GT(torn, 0u);
+  EXPECT_LT(torn, result.outcomes.size());
+  EXPECT_EQ(result.stats.sandbox_crashed, torn);
+  EXPECT_EQ(result.stats.apps, corpus.apps.size());
+}
+
+}  // namespace
+}  // namespace dydroid::driver

@@ -37,6 +37,10 @@
 //       trace_event JSON (chrome://tracing / Perfetto) with one span per
 //       (app, stage, attempt); --metrics appends the per-stage latency
 //       table and the top-K slowest apps (docs/OBSERVABILITY.md).
+//       --isolate forks one sandboxed child per analysis attempt
+//       (docs/ISOLATION.md): crashes, OOMs and hangs are classified,
+//       quarantined data points instead of driver outages; --mem-limit
+//       caps child address space and implies --isolate.
 //
 //   dydroid faultcheck [--scale S] [--jobs 1,2,8] [--fraction F]
 //               [--no-corruption]
@@ -271,6 +275,22 @@ std::string configure_cache(const char* cmd, const Args& args,
   return config.cache_dir;
 }
 
+// --- process-isolation plumbing (docs/ISOLATION.md) -------------------------
+
+/// Fill the sandbox fields of a RunnerConfig from --isolate / --mem-limit.
+/// Returns true when isolation is on. --mem-limit implies --isolate (a
+/// memory cap is only enforceable on a forked child).
+bool configure_isolation(const char* cmd, const Args& args,
+                         driver::RunnerConfig& config) {
+  config.isolate = args.flag("isolate") || args.flag("mem-limit");
+  if (!config.isolate) return false;
+  if (args.flag("mem-limit")) {
+    config.sandbox_mem_limit_bytes =
+        parse_u64_flag(cmd, "mem-limit", args.value("mem-limit", "0"));
+  }
+  return true;
+}
+
 int cmd_gen(const Args& args) {
   if (args.positional.empty()) {
     std::fprintf(stderr, "gen: missing output path\n");
@@ -375,8 +395,9 @@ int cmd_analyze(const Args& args) {
   driver::RunnerConfig runner_config;
   const std::string journal_path = configure_journal(args, runner_config);
   const std::string cache_dir = configure_cache("analyze", args, runner_config);
+  const bool isolate = configure_isolation("analyze", args, runner_config);
   core::DyDroid pipeline(std::move(options));
-  if (journal_path.empty() && cache_dir.empty()) {
+  if (journal_path.empty() && cache_dir.empty() && !isolate) {
     const auto report = pipeline.analyze(bytes, seed);
     std::printf("%s", core::report_to_json(report).c_str());
     return 0;
@@ -408,6 +429,11 @@ int cmd_analyze(const Args& args) {
                    args.positional[0].c_str(), journal_path.c_str());
     }
     return 3;
+  }
+  if (isolate && result.outcomes[0].sandbox_fate != driver::SandboxFate::kNone) {
+    std::fprintf(stderr, "analyze: sandbox: %s (signal %d)\n",
+                 result.outcomes[0].report.crash_message.c_str(),
+                 result.outcomes[0].fatal_signal);
   }
   std::printf("%s", core::report_to_json(result.outcomes[0].report).c_str());
   return 0;
@@ -506,6 +532,7 @@ int cmd_survey(const Args& args) {
       parse_u64_flag("survey", "jobs", args.value("jobs", "0")));
   const std::string journal_path = configure_journal(args, runner_config);
   const std::string cache_dir = configure_cache("survey", args, runner_config);
+  const bool isolate = configure_isolation("survey", args, runner_config);
   const std::string trace_path = configure_observability(args);
   const driver::CorpusRunner runner(pipeline, runner_config);
   driver::CorpusResult result;
@@ -535,6 +562,12 @@ int cmd_survey(const Args& args) {
       args.flag("faults") || args.flag("budget") || args.flag("retry")) {
     std::printf("  fault policy: %zu timed out, %zu retried, %zu quarantined\n",
                 stats.timed_out, stats.retried, stats.quarantined);
+  }
+  if (isolate) {
+    std::printf(
+        "  sandbox: fork-per-app, %zu crashed, %zu oom-killed, "
+        "%zu deadline-killed\n",
+        stats.sandbox_crashed, stats.killed_oom, stats.killed_timeout);
   }
   if (!journal_path.empty()) {
     std::printf("  journal: %zu analyzed, %zu replayed -> %s\n",
@@ -616,11 +649,12 @@ void usage() {
       "  analyze <app.sapk> [--seed N] [--host URL FILE]...\n"
       "      [--companion FILE] [--faults PLAN]\n"
       "      [--journal PATH | --resume PATH] [--cache DIR]\n"
+      "      [--isolate] [--mem-limit BYTES]\n"
       "  disasm <app.sapk>\n"
       "  pack <in.sapk> <out.sapk> [--trap]\n"
       "  unpack <packed.sapk> <out.sapk> [--seed N]\n"
       "  survey [--scale S] [--seed N] [--jobs J] [--faults PLAN]\n"
-      "      [--budget MS] [--retry]\n"
+      "      [--budget MS] [--retry] [--isolate] [--mem-limit BYTES]\n"
       "      [--journal PATH | --resume PATH] [--fsync]\n"
       "      [--cache DIR] [--cache-entries N] [--cache-bytes N]\n"
       "      [--trace OUT.json] [--metrics] [--top K]\n"
@@ -636,7 +670,11 @@ void usage() {
       "Result cache (docs/CACHE.md): --cache DIR replays identical\n"
       "(bytes, config, seed) work from a content-addressed store and\n"
       "dedups intercepted binaries corpus-wide; --cache-entries and\n"
-      "--cache-bytes bound the store (LRU).\n");
+      "--cache-bytes bound the store (LRU).\n"
+      "Isolation (docs/ISOLATION.md): --isolate forks one sandboxed child\n"
+      "per analysis attempt (crashes, hangs and OOMs are classified and\n"
+      "quarantined, never fatal); --mem-limit caps child RLIMIT_AS and\n"
+      "implies --isolate.\n");
 }
 
 }  // namespace
@@ -650,7 +688,7 @@ int main(int argc, char** argv) {
   const std::set<std::string> value_opts = {
       "pkg", "category", "seed", "malware", "vuln", "scale", "companion",
       "jobs", "faults", "budget", "fraction", "journal", "resume",
-      "trace", "top", "cache", "cache-entries", "cache-bytes"};
+      "trace", "top", "cache", "cache-entries", "cache-bytes", "mem-limit"};
   const auto args = parse(argc, argv, 2, value_opts);
   try {
     if (cmd == "gen") return cmd_gen(args);

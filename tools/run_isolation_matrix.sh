@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Isolation matrix (docs/ISOLATION.md): prove the fork-per-app sandbox is
+# golden against thread mode from the real CLI, then prove it survives
+# hostile signals.
+#
+#   tools/run_isolation_matrix.sh [scale] [seed] [kill_rounds]
+#
+# Phases:
+#   1. Golden thread-mode survey.
+#   2. `--isolate` surveys at 1/2/8 workers — summaries must be
+#      byte-identical to the golden one (timing and sandbox-bookkeeping
+#      lines stripped; clean children reproduce thread-mode reports).
+#   3. Child-kill round: an `--isolate` survey while random live sandbox
+#      children are `kill -9`ed mid-run. The supervisor transparently
+#      respawns externally-killed children, so the summary must still
+#      match golden.
+#   4. Kill/resume round: a journaled `--isolate` survey SIGKILLed at a
+#      random point, resumed with `--resume`, compared to golden.
+#
+# Defaults: --scale 0.01, --seed 20161101, 5 kill rounds. The dydroid
+# binary is taken from $DYDROID_CLI or ./build/tools/dydroid. Exit 1 on
+# the first mismatch.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+scale="${1:-0.01}"
+seed="${2:-20161101}"
+kill_rounds="${3:-5}"
+cli="${DYDROID_CLI:-$repo/build/tools/dydroid}"
+
+if [[ ! -x "$cli" ]]; then
+  echo "run_isolation_matrix: dydroid binary not found at $cli" >&2
+  echo "  build it first (cmake --build build) or set DYDROID_CLI" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/dydroid_isolation.XXXXXX")"
+trap 'rm -rf "$workdir"' EXIT
+
+# Wall-clock lines, journal bookkeeping and the sandbox summary line (the
+# golden run is thread mode and has none) differ by construction.
+strip_timing() {
+  grep -v -e ' ms on ' -e 'journal:' -e 'resume with' -e '  sandbox:' "$1" \
+    || true
+}
+
+echo "==== golden thread-mode survey (scale=$scale seed=$seed) ===="
+"$cli" survey --scale "$scale" --seed "$seed" --jobs 2 \
+  > "$workdir/golden.txt"
+strip_timing "$workdir/golden.txt" > "$workdir/golden.stable"
+
+echo "==== golden equivalence: --isolate at 1/2/8 workers ===="
+for jobs in 1 2 8; do
+  out="$workdir/isolate-j$jobs.txt"
+  "$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" --isolate \
+    > "$out"
+  strip_timing "$out" > "$out.stable"
+  if ! diff -u "$workdir/golden.stable" "$out.stable"; then
+    echo "isolate summary at jobs=$jobs DIFFERS from thread mode" >&2
+    exit 1
+  fi
+  echo "jobs=$jobs: byte-identical to thread mode"
+done
+
+echo "==== child-kill rounds: kill -9 random live sandbox children ===="
+for round in $(seq 1 "$kill_rounds"); do
+  out="$workdir/childkill-$round.txt"
+  "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 --isolate \
+    > "$out" 2>/dev/null &
+  survey_pid=$!
+  kills=0
+  # Children are short-lived (one per app attempt), so shoot as fast as
+  # the loop allows; pkill observes and kills in one process, the best
+  # odds of landing inside a child's window. On a fast machine with a
+  # small corpus every shot may still miss — the deterministic respawn
+  # coverage lives in tests/isolation_test.cpp; this round is the live
+  # chaos version. Landed kills are transparently respawned, so the
+  # summary must stay golden regardless.
+  while kill -0 "$survey_pid" 2>/dev/null; do
+    if pkill -9 -P "$survey_pid" 2>/dev/null; then
+      kills=$((kills + 1))
+    fi
+  done
+  wait "$survey_pid"
+  strip_timing "$out" > "$out.stable"
+  if ! diff -u "$workdir/golden.stable" "$out.stable"; then
+    echo "childkill round $round: summary DIFFERS after $kills child kills" >&2
+    exit 1
+  fi
+  echo "childkill round $round: ok ($kills child kills landed, respawned)"
+done
+
+echo "==== kill/resume rounds: SIGKILL the journaled --isolate survey ===="
+for round in $(seq 1 "$kill_rounds"); do
+  journal="$workdir/resume-$round.jrnl"
+  out="$workdir/resume-$round.txt"
+  rm -f "$journal"
+  "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 --isolate \
+    --journal "$journal" > /dev/null 2>&1 &
+  survey_pid=$!
+  delay_ms=$((5 + RANDOM % 116))
+  sleep "$(printf '0.%03d' "$delay_ms")"
+  if kill -9 "$survey_pid" 2>/dev/null; then
+    verdict="killed after ${delay_ms}ms"
+  else
+    verdict="finished before the kill (${delay_ms}ms)"
+  fi
+  wait "$survey_pid" 2>/dev/null || true
+
+  if [[ -s "$journal" ]]; then
+    "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 --isolate \
+      --resume "$journal" > "$out" 2>/dev/null
+  else
+    "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 --isolate \
+      > "$out" 2>/dev/null
+    verdict="$verdict, no journal yet"
+  fi
+  strip_timing "$out" > "$out.stable"
+  if ! diff -u "$workdir/golden.stable" "$out.stable"; then
+    echo "resume round $round: summary DIFFERS from golden ($verdict)" >&2
+    exit 1
+  fi
+  echo "resume round $round: ok ($verdict)"
+done
+
+echo "isolation matrix passed: golden at 1/2/8 workers," \
+  "$kill_rounds child-kill + $kill_rounds kill/resume rounds byte-identical"

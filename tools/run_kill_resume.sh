@@ -2,8 +2,10 @@
 # Kill/resume stress harness (docs/CHECKPOINT.md): repeatedly SIGKILL a
 # `dydroid survey --journal` run at a random point, resume it, and diff the
 # summary against an uninterrupted golden run. Each round then repeats the
-# same cycle with a warm result cache (docs/CACHE.md) attached: replayed
-# journal records plus warm cache hits must reproduce the same summary.
+# same cycle with a warm result cache (docs/CACHE.md) attached — replayed
+# journal records plus warm cache hits must reproduce the same summary —
+# and with the fork-per-app sandbox (docs/ISOLATION.md) on: journaled
+# sandbox fates must resume to the same summary too.
 #
 #   tools/run_kill_resume.sh [rounds] [scale] [seed] [jobs]
 #
@@ -33,8 +35,8 @@ workdir="$(mktemp -d "${TMPDIR:-/tmp}/dydroid_kill_resume.XXXXXX")"
 trap 'rm -rf "$workdir"' EXIT
 
 strip_timing() {
-  grep -v -e ' ms on ' -e 'journal:' -e 'resume with' -e '  cache:' "$1" \
-    || true
+  grep -v -e ' ms on ' -e 'journal:' -e 'resume with' -e '  cache:' \
+    -e '  sandbox:' "$1" || true
 }
 
 echo "==== golden run (scale=$scale seed=$seed jobs=$jobs) ===="
@@ -90,7 +92,8 @@ kill_resume_round() {
 for round in $(seq 1 "$rounds"); do
   kill_resume_round "round$round"
   kill_resume_round "round$round-cached" --cache "$cachedir"
+  kill_resume_round "round$round-isolated" --isolate
 done
 
-echo "kill/resume harness passed: $rounds rounds (plain + warm-cache)" \
-  "byte-identical"
+echo "kill/resume harness passed: $rounds rounds" \
+  "(plain + warm-cache + isolate) byte-identical"

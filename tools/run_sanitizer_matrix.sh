@@ -9,7 +9,14 @@
 #
 #   tools/run_sanitizer_matrix.sh asan -- -L tier1
 #
-# runs only the fast tier-1 suite under AddressSanitizer.
+# runs only the fast tier-1 suite under AddressSanitizer, and
+#
+#   tools/run_sanitizer_matrix.sh tsan -- -L isolate
+#
+# runs just the fork-per-app sandbox suites (docs/ISOLATION.md) — worth a
+# dedicated pass since they fork from worker threads. RLIMIT_AS is
+# auto-skipped under ASan/TSan (address_space_limit_supported); the rest
+# of the sandbox runs sanitized like everything else.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
