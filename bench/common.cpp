@@ -99,6 +99,36 @@ bool isolate_from_env() {
   return false;
 }
 
+// Optional corpus shard for the bench run, from the DYDROID_SHARD env var
+// ("I/N", docs/SHARDING.md). Absent or empty -> {0, 0} (unsharded). Like
+// every bench env hook, a malformed value warns and defaults — benches
+// never throw on bad env.
+struct ShardSpec {
+  std::uint32_t index = 0;
+  std::uint32_t count = 0;  // 0 = unsharded
+};
+
+ShardSpec shard_from_env() {
+  const char* text = std::getenv("DYDROID_SHARD");
+  if (text == nullptr || text[0] == '\0') return {};
+  const std::string spec = text;
+  const auto slash = spec.find('/');
+  if (slash != std::string::npos) {
+    const auto index = support::parse_u64(spec.substr(0, slash));
+    const auto count = support::parse_u64(spec.substr(slash + 1));
+    if (index.ok() && count.ok() && count.value() > 0 &&
+        index.value() < count.value() && count.value() <= 0xFFFFFFFFull) {
+      return {static_cast<std::uint32_t>(index.value()),
+              static_cast<std::uint32_t>(count.value())};
+    }
+  }
+  std::fprintf(stderr,
+               "bench: ignoring invalid DYDROID_SHARD value \"%s\" "
+               "(want I/N with 0 <= I < N)\n",
+               text);
+  return {};
+}
+
 }  // namespace
 
 malware::DroidNative make_trained_detector(int samples_per_family) {
@@ -151,6 +181,9 @@ Measurement measure_corpus(const malware::DroidNative* detector,
       !runner_config.journal_path.empty() && resume_from_env();
   runner_config.cache_dir = cache_from_env();
   runner_config.isolate = isolate_from_env();
+  const ShardSpec shard = shard_from_env();
+  runner_config.shard_index = shard.index;
+  runner_config.shard_count = shard.count;
   const std::string trace_path = trace_from_env();
   if (!trace_path.empty()) support::set_trace_enabled(true);
   const driver::CorpusRunner runner(pipeline, runner_config);

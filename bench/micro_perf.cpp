@@ -9,10 +9,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "analysis/decompiler.hpp"
 #include "appgen/corpus.hpp"
@@ -22,6 +24,7 @@
 #include "dex/builder.hpp"
 #include "dex/disassembler.hpp"
 #include "driver/corpus_runner.hpp"
+#include "driver/shard_merge.hpp"
 #include "malware/droidnative.hpp"
 #include "malware/families.hpp"
 #include "obfuscation/packer.hpp"
@@ -343,6 +346,46 @@ void BM_IsolationOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_IsolationOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// Sharded corpus merge (docs/SHARDING.md): Arg shard journals are produced
+// once outside the timed region (N shard runs, each journaling its residue
+// class); the timed region is merge_shard_journals folding them into one
+// sealed journal. The merge is pure journal read/validate/write — its cost
+// must stay negligible next to the analysis the shards already did.
+void BM_ShardMerge(benchmark::State& state) {
+  support::set_log_level(support::LogLevel::Error);
+  appgen::CorpusConfig config;
+  config.scale = 0.02;
+  const auto corpus = appgen::generate_corpus(config);
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  std::vector<std::string> shard_paths;
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    const std::string path = "bench_shard_" + std::to_string(::getpid()) +
+                             "_" + std::to_string(i) + ".jrnl";
+    driver::RunnerConfig shard_config;
+    shard_config.jobs = 1;
+    shard_config.journal_path = path;
+    shard_config.shard_index = i;
+    shard_config.shard_count = shards;
+    benchmark::DoNotOptimize(
+        driver::CorpusRunner(pipeline, shard_config).run(corpus));
+    shard_paths.push_back(path);
+  }
+  const std::string merged_path =
+      "bench_shard_merged_" + std::to_string(::getpid()) + ".jrnl";
+  for (auto _ : state) {
+    auto merged = driver::merge_shard_journals(merged_path, shard_paths);
+    if (!merged.ok()) state.SkipWithError(merged.error().c_str());
+    benchmark::DoNotOptimize(merged);
+  }
+  for (const auto& path : shard_paths) std::remove(path.c_str());
+  std::remove(merged_path.c_str());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(corpus.apps.size()));
+  state.SetLabel("shards=" + std::to_string(shards));
+}
+BENCHMARK(BM_ShardMerge)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
 /// Serial-vs-parallel corpus comparison, written to BENCH_corpus.json:
 /// wall time and apps/sec with 1 worker and with DYDROID_JOBS/hardware
 /// workers, plus a byte-identity check over every per-app JSON report.
@@ -442,6 +485,57 @@ void emit_corpus_bench_json() {
                 core::report_to_json(parallel.outcomes[i].report);
   }
 
+  // Sharded execution + deterministic merge (docs/SHARDING.md): three
+  // shard runs cover the corpus, `merge` folds their journals into one,
+  // and a --resume replay of the merged journal must reproduce the serial
+  // reports byte-for-byte. Merge overhead is scored against the best
+  // serial wall time — the merge is the only extra serial step a sharded
+  // campaign pays.
+  constexpr std::uint32_t kShards = 3;
+  std::vector<std::string> shard_paths;
+  double max_shard_wall_ms = 0.0;  // the sharded campaign's critical path
+  for (std::uint32_t i = 0; i < kShards; ++i) {
+    const std::string path =
+        support::format("BENCH_shard_%d_%u.jrnl", ::getpid(), i);
+    driver::RunnerConfig shard_config;
+    shard_config.jobs = 1;
+    shard_config.journal_path = path;
+    shard_config.shard_index = i;
+    shard_config.shard_count = kShards;
+    const auto shard_run =
+        driver::CorpusRunner(pipeline, shard_config).run(corpus);
+    max_shard_wall_ms = std::max(max_shard_wall_ms, shard_run.wall_ms);
+    shard_paths.push_back(path);
+  }
+  const std::string merged_path =
+      support::format("BENCH_shard_merged_%d.jrnl", ::getpid());
+  const support::Stopwatch merge_clock;
+  const auto merged = driver::merge_shard_journals(merged_path, shard_paths);
+  const double merge_ms = merge_clock.elapsed_ms();
+  bool shard_identical = merged.ok();
+  const std::size_t merged_records =
+      merged.ok() ? merged.value().records_merged : 0;
+  if (merged.ok()) {
+    driver::RunnerConfig replay_config;
+    replay_config.jobs = 1;
+    replay_config.journal_path = merged_path;
+    replay_config.resume = true;
+    const auto replayed =
+        driver::CorpusRunner(pipeline, replay_config).run(corpus);
+    shard_identical = replayed.replayed == corpus.apps.size();
+    for (std::size_t i = 0; shard_identical && i < serial.outcomes.size();
+         ++i) {
+      shard_identical = core::report_to_json(serial.outcomes[i].report) ==
+                        core::report_to_json(replayed.outcomes[i].report);
+    }
+  } else {
+    std::fprintf(stderr, "micro_perf: %s\n", merged.error().c_str());
+  }
+  for (const auto& path : shard_paths) std::remove(path.c_str());
+  std::remove(merged_path.c_str());
+  const double merge_overhead_pct =
+      serial.wall_ms > 0 ? 100.0 * merge_ms / serial.wall_ms : 0.0;
+
   // Metrics-instrumented serial pass (docs/OBSERVABILITY.md): per-stage
   // latency quantiles for the `metrics` section, plus the instrumentation
   // overhead vs. the best uninstrumented serial run (budget: ~1%).
@@ -527,6 +621,9 @@ void emit_corpus_bench_json() {
                "  ]},\n"
                "  \"parse_once\": {\"parses_per_app\": %.3f,"
                " \"bytes_copied_per_app\": %.0f},\n"
+               "  \"sharding\": {\"shards\": %u, \"merge_ms\": %.2f,"
+               " \"merge_overhead_pct\": %.2f, \"records\": %zu,"
+               " \"max_shard_wall_ms\": %.2f, \"replayed_identical\": %s},\n"
                "  \"speedup\": %.3f,\n"
                "  \"reports_identical\": %s\n"
                "}\n",
@@ -539,7 +636,9 @@ void emit_corpus_bench_json() {
                cold.wall_ms, warm.wall_ms, cache_hit_rate, warm_speedup,
                warm.dedup.unique, warm.dedup.total,
                metrics_overhead_pct, metrics_json.c_str(), parses_per_app,
-               copied_per_app,
+               copied_per_app, kShards, merge_ms, merge_overhead_pct,
+               merged_records, max_shard_wall_ms,
+               shard_identical ? "true" : "false",
                parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
                identical ? "true" : "false");
   std::fclose(f);
@@ -547,12 +646,14 @@ void emit_corpus_bench_json() {
       "\nBENCH_corpus.json: %zu apps, serial %.1f ms (%.0f apps/s), "
       "parallel[%zu] %.1f ms (%.0f apps/s), speedup %.2fx, identical=%s, "
       "journal overhead %+.1f%%, isolation overhead %+.1f%%, "
-      "cache warm %.2fx (hit rate %.0f%%)\n",
+      "cache warm %.2fx (hit rate %.0f%%), shard merge[%u] %.1f ms "
+      "(identical=%s)\n",
       corpus.apps.size(), serial.wall_ms, serial_aps, parallel.threads,
       parallel.wall_ms, parallel_aps,
       parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
       identical ? "true" : "false", journal_overhead_pct,
-      isolation_overhead_pct, warm_speedup, 100.0 * cache_hit_rate);
+      isolation_overhead_pct, warm_speedup, 100.0 * cache_hit_rate, kShards,
+      merge_ms, shard_identical ? "true" : "false");
 }
 
 }  // namespace

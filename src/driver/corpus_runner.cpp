@@ -12,6 +12,7 @@
 #include "driver/outcome_codec.hpp"
 #include "driver/result_cache.hpp"
 #include "driver/sandbox.hpp"
+#include "driver/shard_merge.hpp"
 #include "support/hash.hpp"
 #include "support/io.hpp"
 #include "support/journal.hpp"
@@ -52,6 +53,19 @@ constexpr double kSandboxDeadlinePadMs = 1000.0;
 /// classified killed_oom), while a randomly kill -9'd child just re-runs —
 /// which is what keeps tools/run_isolation_matrix.sh's summaries golden.
 constexpr int kExternalKillRespawns = 2;
+
+/// Narrow a global corpus index into the u32 trace-context field. The
+/// corpus identity must never silently truncate (with sharding, the global
+/// index IS the app's identity across processes); validate_runner_config
+/// bounds every run below kMaxCorpusApps, so a trip here means an internal
+/// slot-mapping bug — fail loudly rather than tag spans with a wrapped id.
+std::uint32_t trace_app_id(std::size_t index) {
+  if (index >= support::kTraceNoApp) {
+    throw std::runtime_error(support::format(
+        "runner: corpus index %zu overflows the u32 trace context", index));
+  }
+  return static_cast<std::uint32_t>(index);
+}
 
 }  // namespace
 
@@ -149,13 +163,62 @@ std::size_t resolve_jobs(std::size_t requested) {
   return static_cast<std::size_t>(parsed.value());
 }
 
+void validate_runner_config(const RunnerConfig& config,
+                            std::uint64_t corpus_size) {
+  if (corpus_size > kMaxCorpusApps) {
+    throw std::runtime_error(support::format(
+        "runner: corpus of %llu apps exceeds the %llu-app ceiling (global "
+        "indices must fit the u32 trace context)",
+        static_cast<unsigned long long>(corpus_size),
+        static_cast<unsigned long long>(kMaxCorpusApps)));
+  }
+  if (seed_range_overflows(config.seed_base, corpus_size)) {
+    throw std::runtime_error(support::format(
+        "runner: seed base %llu overflows across %llu apps (seed_for_app "
+        "would wrap and two apps would collide on one seed); lower the seed "
+        "base",
+        static_cast<unsigned long long>(config.seed_base),
+        static_cast<unsigned long long>(corpus_size)));
+  }
+  if (config.shard_count == 0 && config.shard_index != 0) {
+    throw std::runtime_error(support::format(
+        "runner: shard index %u set without a shard count",
+        config.shard_index));
+  }
+  if (config.shard_count > 0 && config.shard_index >= config.shard_count) {
+    throw std::runtime_error(support::format(
+        "runner: shard index %u out of range for %u shard(s)",
+        config.shard_index, config.shard_count));
+  }
+  if (config.resume && config.journal_path.empty()) {
+    throw std::runtime_error("runner: resume requested without a journal path");
+  }
+}
+
 CorpusRunner::CorpusRunner(const core::DyDroid& pipeline, RunnerConfig config)
     : pipeline_(&pipeline), config_(std::move(config)) {}
 
 CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
+  validate_runner_config(config_, jobs.size());
+
+  // --- corpus sharding (docs/SHARDING.md) ----------------------------------
+  // This run owns the global indices ≡ shard_index (mod shard_count); the
+  // worker loop walks shard-local slots and maps them back to global
+  // indices, so seeds, journal records, trace context and cache keys all
+  // stay global-index-derived — the invariant `dydroid merge` relies on.
+  const bool sharded = config_.shard_count > 0;
+  const std::size_t shard_apps = static_cast<std::size_t>(shard_app_count(
+      jobs.size(), config_.shard_index, config_.shard_count));
+  const auto global_index_of = [&](std::size_t slot) {
+    return sharded ? config_.shard_index +
+                         slot * static_cast<std::size_t>(config_.shard_count)
+                   : slot;
+  };
+
   CorpusResult result;
+  result.shard_apps = shard_apps;
   result.threads = std::min(resolve_jobs(config_.jobs),
-                            std::max<std::size_t>(jobs.size(), 1));
+                            std::max<std::size_t>(shard_apps, 1));
   result.outcomes.resize(jobs.size());
 
   const support::Stopwatch corpus_clock;
@@ -166,6 +229,21 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
     return jobs[index].seed.value_or(seed_for_app(config_.seed_base, index));
   };
 
+  // The pipeline fingerprint keys the result cache and — for sharded
+  // journaled runs — pins the shard-metadata record, so compute it once up
+  // front when either consumer needs it.
+  support::Sha256Digest config_fp;
+  if (!config_.cache_dir.empty() || (sharded && !config_.journal_path.empty())) {
+    config_fp = config_fingerprint(*pipeline_);
+  }
+  support::ShardMeta shard_meta;
+  shard_meta.shard_index = config_.shard_index;
+  shard_meta.shard_count = config_.shard_count;
+  shard_meta.seed_base = config_.seed_base;
+  shard_meta.corpus_size = jobs.size();
+  shard_meta.outcome_codec_version = kOutcomeCodecVersion;
+  shard_meta.config_fingerprint = config_fp.bytes;
+
   // --- resume replay + write-ahead journal setup (docs/CHECKPOINT.md) ------
   // `done[i]` marks outcomes restored from the journal; workers skip them.
   std::vector<char> done(jobs.size(), 0);
@@ -173,9 +251,7 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
   std::optional<support::FaultSession> driver_faults;
   std::mutex journal_mutex;  // serializes appends + the driver fault session
 
-  if (config_.resume && config_.journal_path.empty()) {
-    throw std::runtime_error("runner: resume requested without a journal path");
-  }
+  bool journal_has_meta = false;
   if (!config_.journal_path.empty()) {
     if (config_.resume) {
       auto read = support::read_journal(config_.journal_path);
@@ -201,7 +277,55 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
                                    truncated.error());
         }
       }
+      std::size_t record_ordinal = 0;
       for (const auto& record : read.value().records) {
+        if (support::is_shard_meta(record)) {
+          // The shard-metadata record pins everything a per-shard resume
+          // must agree on; any disagreement means the journal belongs to a
+          // different shard, corpus or pipeline — fail loudly, never
+          // silently re-run (docs/SHARDING.md).
+          if (record_ordinal != 0) {
+            throw std::runtime_error(
+                "runner: resume failed: shard-metadata record is not the "
+                "journal's first record");
+          }
+          if (!sharded) {
+            throw std::runtime_error(
+                "runner: resume failed: journal belongs to a sharded run "
+                "(resume it with the matching --shard I/N, or merge the "
+                "shard journals first)");
+          }
+          support::ShardMeta meta;
+          try {
+            meta = support::decode_shard_meta(record);
+          } catch (const std::exception& e) {
+            throw std::runtime_error(
+                std::string(
+                    "runner: resume failed: corrupt shard metadata: ") +
+                e.what());
+          }
+          if (const std::string mismatch =
+                  describe_shard_meta_mismatch(meta, shard_meta);
+              !mismatch.empty()) {
+            throw std::runtime_error(
+                "runner: resume failed: journal does not match this run: " +
+                mismatch);
+          }
+          journal_has_meta = true;
+          ++record_ordinal;
+          continue;
+        }
+        if (sharded && record_ordinal == 0) {
+          // A sharded journal leads with its metadata record; the first
+          // record being an outcome means this journal came from an
+          // unsharded run — diagnose that directly instead of tripping
+          // over whichever record first leaves the shard's residue class.
+          throw std::runtime_error(
+              "runner: resume failed: journal has outcome records but no "
+              "shard-metadata record (unsharded journal resumed with "
+              "--shard?)");
+        }
+        ++record_ordinal;
         DecodedOutcome decoded;
         try {
           decoded = decode_outcome(record);
@@ -228,6 +352,13 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
               static_cast<unsigned long long>(decoded.outcome.seed),
               static_cast<unsigned long long>(seed_of(decoded.index))));
         }
+        if (sharded && decoded.index % config_.shard_count !=
+                           config_.shard_index) {
+          throw std::runtime_error(support::format(
+              "runner: resume failed: journal record for app %zu does not "
+              "belong to shard %u/%u (wrong shard's journal?)",
+              decoded.index, config_.shard_index, config_.shard_count));
+        }
         // Duplicate records resolve last-writer-wins: a record re-appended
         // after an earlier resume supersedes the older one.
         result.outcomes[decoded.index] = std::move(decoded.outcome);
@@ -241,13 +372,24 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
         support::JournalWriter::open(config_.journal_path, journal_options);
     if (!writer.ok()) throw std::runtime_error("runner: " + writer.error());
     journal.emplace(std::move(writer).take());
+    // A sharded run stamps a fresh (or still-empty) journal with its
+    // shard-metadata record before any outcome, so every shard journal is
+    // self-describing to `dydroid merge` and to later resumes. No ambient
+    // fault scope is installed here: metadata stamping is run setup, not a
+    // journaled outcome, and must not consume injected-fault budget.
+    if (sharded && !journal_has_meta) {
+      const support::Status stamped =
+          journal->append(support::encode_shard_meta(shard_meta));
+      if (!stamped.ok()) {
+        throw std::runtime_error("runner: cannot stamp shard metadata: " +
+                                 stamped.error());
+      }
+    }
   }
 
   // --- content-addressed result cache (docs/CACHE.md) ----------------------
   std::optional<ResultCache> cache;
-  support::Sha256Digest config_fp;
   if (!config_.cache_dir.empty()) {
-    config_fp = config_fingerprint(*pipeline_);
     CacheConfig cache_config;
     cache_config.max_entries = config_.cache_max_entries;
     cache_config.max_bytes = config_.cache_max_bytes;
@@ -304,8 +446,7 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
     // stage spans inside analyze(), the sub-phase spans below them — is
     // tagged (app index, attempt, worker) without any plumbing.
     const support::TraceContextScope trace_context(
-        static_cast<std::uint32_t>(index), attempt,
-        static_cast<std::uint32_t>(worker));
+        trace_app_id(index), attempt, static_cast<std::uint32_t>(worker));
 
     // Wall-time accounting guard: every exit path — normal return, a crash
     // converted below, or an exception escaping this very machinery (e.g.
@@ -378,8 +519,7 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
     outcome.fatal_signal = 0;
 
     const support::TraceContextScope trace_context(
-        static_cast<std::uint32_t>(index), attempt,
-        static_cast<std::uint32_t>(worker_id));
+        trace_app_id(index), attempt, static_cast<std::uint32_t>(worker_id));
 
     // Supervisor-side sandbox fault session (sandbox.spawn / sandbox.pipe /
     // sandbox.crash): deterministic in (app seed, attempt), separate from
@@ -672,22 +812,23 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
     return true;
   };
 
-  // Each worker claims the next unprocessed index, analyzes it with its
-  // index-derived seed and writes into that index's pre-sized outcome
-  // slot — disjoint writes, no locks on the hot path (the journal mutex is
-  // only ever taken when journaling is enabled).
+  // Each worker claims the next unprocessed shard slot, maps it to its
+  // global corpus index (slot == index when unsharded), analyzes it with
+  // its global-index-derived seed and writes into that index's pre-sized
+  // outcome slot — disjoint writes, no locks on the hot path (the journal
+  // mutex is only ever taken when journaling is enabled).
   const auto worker = [&](std::size_t worker_id) {
     for (;;) {
       if (should_quit()) break;
-      const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
-      if (index >= jobs.size()) break;
+      const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= shard_apps) break;
+      const std::size_t index = global_index_of(slot);
       if (done[index]) continue;  // replayed from the resume journal
       AppOutcome& outcome = result.outcomes[index];
       // Ambient tagging for the journal-append span (the per-attempt spans
       // install their own nested context with the attempt ordinal).
       const support::TraceContextScope trace_context(
-          static_cast<std::uint32_t>(index), 0,
-          static_cast<std::uint32_t>(worker_id));
+          trace_app_id(index), 0, static_cast<std::uint32_t>(worker_id));
       process_app(jobs[index], outcome, index, worker_id);
       if (journal.has_value() && !journal_outcome(index, outcome)) break;
     }
@@ -749,7 +890,7 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
                      appended_by_this_run);
   }
 
-  result.interrupted = result.completed() < jobs.size();
+  result.interrupted = result.completed() < shard_apps;
   result.wall_ms = corpus_clock.elapsed_ms();
   return result;
 }

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -39,11 +40,39 @@ namespace dydroid::driver {
 /// Default seed base: the historical bench corpus seed origin.
 inline constexpr std::uint64_t kDefaultSeedBase = 0xBE9C0000ull;
 
+/// Hard corpus-size ceiling. Global app indices are the identity that
+/// threads through seeds, journal records, cache keys and the u32 trace
+/// context (whose kTraceNoApp sentinel is 0xFFFFFFFF), so the largest legal
+/// index is 0xFFFFFFFE. validate_runner_config rejects bigger corpora
+/// loudly instead of letting the index silently truncate at the trace
+/// boundary.
+inline constexpr std::uint64_t kMaxCorpusApps = 0xFFFFFFFFull;
+
 /// Seed for the app at `index`. Index-derived (not a shared counter), so an
 /// app keeps its seed when the corpus is filtered, reordered or sharded.
 [[nodiscard]] constexpr std::uint64_t seed_for_app(std::uint64_t base,
                                                    std::size_t index) {
   return base + static_cast<std::uint64_t>(index);
+}
+
+/// True when `base + index` would wrap for some index in [0, count): two
+/// distinct apps would silently collide on one seed. Checked (loudly) by
+/// validate_runner_config before any seed is derived.
+[[nodiscard]] constexpr bool seed_range_overflows(std::uint64_t base,
+                                                  std::uint64_t count) {
+  return count > 0 &&
+         base > std::numeric_limits<std::uint64_t>::max() - (count - 1);
+}
+
+/// Apps the shard `shard_index` of `shard_count` owns out of a corpus of
+/// `corpus_size`: the global indices ≡ shard_index (mod shard_count).
+/// shard_count 0 means "unsharded" (the whole corpus).
+[[nodiscard]] constexpr std::uint64_t shard_app_count(
+    std::uint64_t corpus_size, std::uint32_t shard_index,
+    std::uint32_t shard_count) {
+  if (shard_count == 0) return corpus_size;
+  if (shard_index >= corpus_size) return 0;
+  return (corpus_size - shard_index + shard_count - 1) / shard_count;
 }
 
 /// How the process sandbox disposed of an app's final attempt when
@@ -170,6 +199,11 @@ struct CorpusResult {
   // --- crash-safe run bookkeeping (docs/CHECKPOINT.md) ---------------------
   std::size_t analyzed = 0;  // outcomes produced by this process
   std::size_t replayed = 0;  // outcomes restored from the resume journal
+  /// Apps this run was responsible for: the whole corpus unsharded, the
+  /// shard's residue class under --shard I/N (docs/SHARDING.md). The
+  /// outcomes vector always spans the full corpus; non-shard slots stay
+  /// !completed.
+  std::size_t shard_apps = 0;
   /// A graceful stop (RunnerConfig::stop) ended the run before every app
   /// completed; in-flight apps finished and were journaled.
   bool interrupted = false;
@@ -189,6 +223,18 @@ struct RunnerConfig {
   std::size_t jobs = 0;
   /// Base for the index-derived per-app seeds.
   std::uint64_t seed_base = kDefaultSeedBase;
+
+  // --- corpus sharding (docs/SHARDING.md) ----------------------------------
+  /// Split the corpus across shard_count independent runs: this run
+  /// executes only global indices ≡ shard_index (mod shard_count), keeping
+  /// global-index seeds, journal records, trace context and cache keys, so
+  /// `dydroid merge` can fold the shard journals back into one journal
+  /// whose replay is byte-identical to an unsharded run. 0 (the default)
+  /// means unsharded; a sharded run with a journal stamps it with a
+  /// support::ShardMeta record before any outcome.
+  std::uint32_t shard_count = 0;
+  /// This run's shard in [0, shard_count). Must be 0 when unsharded.
+  std::uint32_t shard_index = 0;
 
   // --- crash-safe journaling (docs/CHECKPOINT.md) --------------------------
   /// Non-empty enables the write-ahead outcome journal: every finished app
@@ -258,6 +304,17 @@ class RunAborted : public std::runtime_error {
 
 /// Resolve a requested worker count: explicit > DYDROID_JOBS > hardware.
 [[nodiscard]] std::size_t resolve_jobs(std::size_t requested);
+
+/// Validate a runner configuration against the corpus it is about to run.
+/// Throws std::runtime_error (loudly, before any app runs) on: a corpus
+/// larger than kMaxCorpusApps (the u32 trace-context identity would
+/// truncate), a seed base whose index-derived seeds would wrap
+/// (seed_range_overflows — two apps would collide on one seed), shard
+/// fields out of range, or resume without a journal path. Called by
+/// CorpusRunner::run; exposed so tests can probe the boundaries without
+/// materializing a corpus.
+void validate_runner_config(const RunnerConfig& config,
+                            std::uint64_t corpus_size);
 
 class CorpusRunner {
  public:

@@ -4,6 +4,7 @@
 
 #include "core/report_codec.hpp"
 #include "support/error.hpp"
+#include "support/journal.hpp"
 
 namespace dydroid::driver {
 
@@ -39,6 +40,14 @@ DecodedOutcome decode_outcome(std::span<const std::uint8_t> payload) {
   ByteReader r(payload);
   const std::uint8_t version = r.u8();
   if (version != kOutcomeCodecVersion) {
+    // The shard-metadata tag (support::kShardMetaTag) is deliberately
+    // disjoint from every codec version byte; name the record kind in the
+    // error so "decoded a meta record as an outcome" reads as the caller
+    // bug it is, not as journal corruption.
+    if (support::is_shard_meta(payload)) {
+      throw ParseError(
+          "outcome codec: record is shard metadata, not an outcome");
+    }
     throw ParseError("outcome codec: unsupported version " +
                      std::to_string(version));
   }

@@ -1,0 +1,225 @@
+#include "driver/shard_merge.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "driver/corpus_runner.hpp"
+#include "driver/outcome_codec.hpp"
+#include "support/strings.hpp"
+
+namespace dydroid::driver {
+
+namespace {
+
+using MergeResult = support::Result<ShardMergeSummary>;
+
+std::string hex_prefix(const std::array<std::uint8_t, 32>& fp) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = 0; i < 8; ++i) {
+    out.push_back(kHex[fp[i] >> 4]);
+    out.push_back(kHex[fp[i] & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string describe_shard_meta_mismatch(const support::ShardMeta& got,
+                                         const support::ShardMeta& want) {
+  if (got.shard_index != want.shard_index ||
+      got.shard_count != want.shard_count) {
+    return support::format("shard %u/%u vs shard %u/%u", got.shard_index,
+                           got.shard_count, want.shard_index,
+                           want.shard_count);
+  }
+  if (got.seed_base != want.seed_base) {
+    return support::format(
+        "seed base %llu vs %llu",
+        static_cast<unsigned long long>(got.seed_base),
+        static_cast<unsigned long long>(want.seed_base));
+  }
+  if (got.corpus_size != want.corpus_size) {
+    return support::format(
+        "corpus size %llu vs %llu",
+        static_cast<unsigned long long>(got.corpus_size),
+        static_cast<unsigned long long>(want.corpus_size));
+  }
+  if (got.outcome_codec_version != want.outcome_codec_version) {
+    return support::format("outcome codec version %u vs %u",
+                           got.outcome_codec_version,
+                           want.outcome_codec_version);
+  }
+  if (got.config_fingerprint != want.config_fingerprint) {
+    return support::format(
+        "config fingerprint %s... vs %s... (differently configured "
+        "pipelines)",
+        hex_prefix(got.config_fingerprint).c_str(),
+        hex_prefix(want.config_fingerprint).c_str());
+  }
+  return {};
+}
+
+support::Result<ShardMergeSummary> merge_shard_journals(
+    const std::string& out_path, std::span<const std::string> shard_paths) {
+  if (shard_paths.empty()) {
+    return MergeResult::failure("merge: no shard journals given");
+  }
+
+  ShardMergeSummary summary;
+  // Winning payload per global index, preserved verbatim (an outcome
+  // payload is never empty — it leads with a version byte — so empty
+  // means "not covered yet").
+  std::vector<support::Bytes> winners;
+  std::vector<char> shard_seen;
+  bool have_reference = false;
+  support::ShardMeta reference;  // shard_index normalized to 0
+
+  for (const std::string& path : shard_paths) {
+    auto read = support::read_journal(path);
+    if (!read.ok()) {
+      return MergeResult::failure("merge: " + read.error());
+    }
+    summary.torn_bytes += read.value().bytes_discarded;
+    const auto& records = read.value().records;
+    if (records.empty() || !support::is_shard_meta(records.front())) {
+      return MergeResult::failure(
+          "merge: " + path +
+          ": not a shard journal (no shard-metadata record; merge folds "
+          "journals produced by --shard runs)");
+    }
+    support::ShardMeta meta;
+    try {
+      meta = support::decode_shard_meta(records.front());
+    } catch (const std::exception& e) {
+      return MergeResult::failure("merge: " + path +
+                                  ": corrupt shard metadata: " + e.what());
+    }
+    if (meta.outcome_codec_version != kOutcomeCodecVersion) {
+      return MergeResult::failure(support::format(
+          "merge: %s: outcome codec version %u but this build reads "
+          "version %u",
+          path.c_str(), meta.outcome_codec_version, kOutcomeCodecVersion));
+    }
+    if (meta.corpus_size > kMaxCorpusApps) {
+      return MergeResult::failure(support::format(
+          "merge: %s: corpus size %llu exceeds the %llu-app ceiling",
+          path.c_str(), static_cast<unsigned long long>(meta.corpus_size),
+          static_cast<unsigned long long>(kMaxCorpusApps)));
+    }
+    if (!have_reference) {
+      reference = meta;
+      reference.shard_index = 0;
+      have_reference = true;
+      winners.assign(static_cast<std::size_t>(meta.corpus_size), {});
+      shard_seen.assign(meta.shard_count, 0);
+      summary.shard_count = meta.shard_count;
+      summary.corpus_size = meta.corpus_size;
+      summary.meta = reference;
+    } else {
+      support::ShardMeta normalized = meta;
+      normalized.shard_index = 0;
+      if (const std::string mismatch =
+              describe_shard_meta_mismatch(normalized, reference);
+          !mismatch.empty()) {
+        return MergeResult::failure("merge: " + path +
+                                    ": metadata disagrees with " +
+                                    shard_paths.front() + ": " + mismatch);
+      }
+    }
+    if (shard_seen[meta.shard_index]) {
+      return MergeResult::failure(support::format(
+          "merge: %s: shard %u/%u appears in more than one input journal",
+          path.c_str(), meta.shard_index, meta.shard_count));
+    }
+    shard_seen[meta.shard_index] = 1;
+
+    for (std::size_t i = 1; i < records.size(); ++i) {
+      const support::Bytes& record = records[i];
+      if (support::is_shard_meta(record)) {
+        return MergeResult::failure(
+            "merge: " + path + ": unexpected extra shard-metadata record");
+      }
+      DecodedOutcome decoded;
+      try {
+        decoded = decode_outcome(record);
+      } catch (const std::exception& e) {
+        return MergeResult::failure("merge: " + path +
+                                    ": corrupt journal record: " + e.what());
+      }
+      if (decoded.index >= meta.corpus_size) {
+        return MergeResult::failure(support::format(
+            "merge: %s: record for app %zu but the corpus has %llu apps",
+            path.c_str(), decoded.index,
+            static_cast<unsigned long long>(meta.corpus_size)));
+      }
+      if (decoded.index % meta.shard_count != meta.shard_index) {
+        return MergeResult::failure(support::format(
+            "merge: %s: record for app %zu does not belong to shard %u/%u "
+            "(overlapping shards?)",
+            path.c_str(), decoded.index, meta.shard_index,
+            meta.shard_count));
+      }
+      if (decoded.outcome.seed !=
+          seed_for_app(meta.seed_base, decoded.index)) {
+        return MergeResult::failure(support::format(
+            "merge: %s: app %zu journaled with seed %llu but the shard's "
+            "seed base derives %llu",
+            path.c_str(), decoded.index,
+            static_cast<unsigned long long>(decoded.outcome.seed),
+            static_cast<unsigned long long>(
+                seed_for_app(meta.seed_base, decoded.index))));
+      }
+      // Last-writer-wins within a shard — the same duplicate resolution a
+      // per-shard resume applies to its own journal.
+      if (!winners[decoded.index].empty()) ++summary.duplicates_dropped;
+      winners[decoded.index] = record;
+    }
+  }
+
+  for (std::uint32_t shard = 0; shard < summary.shard_count; ++shard) {
+    if (!shard_seen[shard]) {
+      return MergeResult::failure(support::format(
+          "merge: missing the journal for shard %u/%u (got %zu of %u "
+          "shard journals)",
+          shard, summary.shard_count, shard_paths.size(),
+          summary.shard_count));
+    }
+  }
+  std::size_t missing = 0;
+  std::size_t first_missing = 0;
+  for (std::size_t index = 0; index < winners.size(); ++index) {
+    if (winners[index].empty()) {
+      if (missing == 0) first_missing = index;
+      ++missing;
+    }
+  }
+  if (missing > 0) {
+    return MergeResult::failure(support::format(
+        "merge: %zu of %zu app outcome(s) missing (first missing app %zu) "
+        "— an incomplete or torn shard; resume that shard to completion "
+        "and merge again",
+        missing, winners.size(), first_missing));
+  }
+
+  // Everything validated in memory; only now touch the output path.
+  support::JournalWriterOptions options;
+  options.truncate = true;
+  auto writer = support::JournalWriter::open(out_path, options);
+  if (!writer.ok()) {
+    return MergeResult::failure("merge: " + writer.error());
+  }
+  support::JournalWriter out = std::move(writer).take();
+  for (const support::Bytes& record : winners) {
+    if (const support::Status appended = out.append(record); !appended.ok()) {
+      return MergeResult::failure("merge: " + appended.error());
+    }
+  }
+  if (const support::Status sealed = out.seal(); !sealed.ok()) {
+    return MergeResult::failure("merge: " + sealed.error());
+  }
+  summary.records_merged = winners.size();
+  return summary;
+}
+
+}  // namespace dydroid::driver

@@ -1,0 +1,75 @@
+// Deterministic shard-journal merge (docs/SHARDING.md).
+//
+// A sharded campaign runs N independent `dydroid survey --shard I/N`
+// processes, each journaling its residue class of the corpus into its own
+// write-ahead journal (docs/CHECKPOINT.md) stamped with a ShardMeta
+// record. merge_shard_journals folds those N journals into ONE sealed,
+// unsharded journal whose replay (`--resume` against it) is byte-identical
+// to an uninterrupted unsharded run — at any worker count, faults on or
+// off.
+//
+// Merge invariants (all violations are loud failures, never partial
+// output):
+//   * Every input journal must lead with a shard-metadata record; all
+//     records must agree on shard count, seed base, corpus size, outcome
+//     codec version (which must also be THIS build's version) and config
+//     fingerprint.
+//   * Exactly one journal per shard index 0..N-1 — a duplicated or missing
+//     shard is an error, not a guess.
+//   * Every outcome record must decode, belong to its journal's residue
+//     class (index ≡ shard (mod N) — an overlap is an error), lie inside
+//     the corpus, and carry the index-derived seed.
+//   * All corpus indices 0..corpus_size-1 must be covered (a torn shard
+//     tail that lost records surfaces here as missing indices).
+//   * Duplicates *within* one shard journal resolve last-writer-wins —
+//     the same rule a per-shard resume applies.
+//
+// The merged journal contains the winning record payloads verbatim (byte
+// preservation, not re-encoding) in ascending global-index order, with no
+// shard-metadata record: it is a plain journal, replayable with a plain
+// `--resume`. Validation completes entirely in memory before the output
+// path is opened, so a failed merge never leaves a half-written journal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/journal.hpp"
+
+namespace dydroid::driver {
+
+/// What a successful merge folded together.
+struct ShardMergeSummary {
+  /// Shard count the inputs agreed on.
+  std::uint32_t shard_count = 0;
+  /// Full corpus size the inputs agreed on.
+  std::uint64_t corpus_size = 0;
+  /// Outcome records written to the merged journal (== corpus_size).
+  std::size_t records_merged = 0;
+  /// Superseded duplicate records dropped by last-writer-wins.
+  std::size_t duplicates_dropped = 0;
+  /// Damaged tail bytes dropped across all input journals (recovered the
+  /// same way a resume would; losses surface as missing indices).
+  std::size_t torn_bytes = 0;
+  /// The agreed metadata (shard_index meaningless; kept for seed base,
+  /// corpus size, codec version and config fingerprint).
+  support::ShardMeta meta;
+};
+
+/// Fold the shard journals at `shard_paths` into one sealed journal at
+/// `out_path` (truncating any existing file there only after validation
+/// passes). Returns the summary, or a loud failure naming the first
+/// violated invariant.
+[[nodiscard]] support::Result<ShardMergeSummary> merge_shard_journals(
+    const std::string& out_path, std::span<const std::string> shard_paths);
+
+/// Human-readable description of the first field on which two shard-meta
+/// records disagree (shard index/count compared too); empty when they are
+/// equal. Shared by the merge (inter-shard agreement) and the runner's
+/// per-shard resume (journal-vs-run agreement).
+[[nodiscard]] std::string describe_shard_meta_mismatch(
+    const support::ShardMeta& got, const support::ShardMeta& want);
+
+}  // namespace dydroid::driver

@@ -219,6 +219,55 @@ Status truncate_journal(const std::string& path, std::size_t bytes_recovered) {
   return {};
 }
 
+Bytes encode_shard_meta(const ShardMeta& meta) {
+  ByteWriter w;
+  w.u8(kShardMetaTag);
+  w.u8(kShardMetaVersion);
+  w.u32(meta.shard_index);
+  w.u32(meta.shard_count);
+  w.u64(meta.seed_base);
+  w.u64(meta.corpus_size);
+  w.u8(meta.outcome_codec_version);
+  w.raw(meta.config_fingerprint);
+  return w.take();
+}
+
+bool is_shard_meta(std::span<const std::uint8_t> payload) {
+  return !payload.empty() && payload.front() == kShardMetaTag;
+}
+
+ShardMeta decode_shard_meta(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  if (r.u8() != kShardMetaTag) {
+    throw ParseError("shard meta: bad tag (not a shard-metadata record)");
+  }
+  const std::uint8_t version = r.u8();
+  if (version != kShardMetaVersion) {
+    throw ParseError("shard meta: unsupported version " +
+                     std::to_string(version));
+  }
+  ShardMeta meta;
+  meta.shard_index = r.u32();
+  meta.shard_count = r.u32();
+  meta.seed_base = r.u64();
+  meta.corpus_size = r.u64();
+  meta.outcome_codec_version = r.u8();
+  const Bytes fp = r.raw(meta.config_fingerprint.size());
+  std::copy(fp.begin(), fp.end(), meta.config_fingerprint.begin());
+  if (!r.at_end()) {
+    throw ParseError("shard meta: trailing bytes after fingerprint");
+  }
+  if (meta.shard_count == 0) {
+    throw ParseError("shard meta: shard count must be >= 1");
+  }
+  if (meta.shard_index >= meta.shard_count) {
+    throw ParseError(
+        "shard meta: shard index " + std::to_string(meta.shard_index) +
+        " out of range for " + std::to_string(meta.shard_count) + " shard(s)");
+  }
+  return meta;
+}
+
 Result<JournalReadResult> read_journal(const std::string& path,
                                        const std::array<std::uint8_t, 8>& magic) {
   std::ifstream in(path, std::ios::binary);

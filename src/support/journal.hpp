@@ -149,4 +149,54 @@ Result<JournalReadResult> parse_journal(
 /// be framed without a file descriptor and read back with parse_journal.
 void encode_frame(ByteWriter& w, std::span<const std::uint8_t> payload);
 
+// ---- shard metadata record (docs/SHARDING.md) ------------------------------
+//
+// A sharded corpus run (RunnerConfig::shard_count > 0) stamps its journal
+// with one shard-metadata record, written first, before any outcome. It
+// pins everything a merge or a per-shard resume must agree on: which shard
+// of how many this journal belongs to, the seed base the global-index
+// seeds derive from, the size of the full corpus, the outcome codec
+// version of the records that follow, and the SHA-256 config fingerprint
+// of the pipeline that produced them. `dydroid merge` refuses to fold
+// journals whose metadata disagrees; a resume refuses a journal whose
+// metadata does not match the resuming run's configuration. Unsharded
+// journals carry no metadata record (the pre-shard format is unchanged).
+
+/// First payload byte of a shard-metadata record. Disjoint from every
+/// outcome-codec version byte (those count up from 1), so a reader can
+/// tell the two record kinds apart from the first byte alone.
+inline constexpr std::uint8_t kShardMetaTag = 0xF5;
+
+/// Shard-metadata payload format version.
+inline constexpr std::uint8_t kShardMetaVersion = 1;
+
+struct ShardMeta {
+  /// This journal's shard: global corpus indices ≡ shard_index (mod
+  /// shard_count).
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 1;
+  /// Base of the index-derived per-app seeds (seed_for_app).
+  std::uint64_t seed_base = 0;
+  /// Apps in the *full* corpus, across all shards.
+  std::uint64_t corpus_size = 0;
+  /// driver::kOutcomeCodecVersion of the outcome records that follow.
+  std::uint8_t outcome_codec_version = 0;
+  /// driver::config_fingerprint of the producing pipeline (SHA-256 bytes).
+  std::array<std::uint8_t, 32> config_fingerprint{};
+
+  friend bool operator==(const ShardMeta&, const ShardMeta&) = default;
+};
+
+/// Encode a shard-metadata record payload (tag + version + fields).
+[[nodiscard]] Bytes encode_shard_meta(const ShardMeta& meta);
+
+/// True when `payload` starts with the shard-metadata tag byte — i.e. the
+/// record is shard metadata, not an encoded outcome.
+[[nodiscard]] bool is_shard_meta(std::span<const std::uint8_t> payload);
+
+/// Decode a shard-metadata payload. Throws ParseError on a bad tag,
+/// unsupported version, out-of-range shard fields, truncation or trailing
+/// bytes.
+[[nodiscard]] ShardMeta decode_shard_meta(std::span<const std::uint8_t> payload);
+
 }  // namespace dydroid::support

@@ -7,6 +7,7 @@
 // bogus DYDROID_JOBS — must still succeed.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,7 +25,14 @@ namespace {
 
 struct RunResult {
   int exit_code = -1;
-  std::string output;  // stdout + stderr, interleaved
+  int term_signal = 0;  // non-zero when the pipeline died to a signal
+  std::string output;   // stdout + stderr, interleaved
+
+  /// The run was ended by `sig` — either reported directly (the shell
+  /// exec'd the binary) or via the shell's 128+N convention.
+  bool died_to(int sig) const {
+    return term_signal == sig || exit_code == 128 + sig;
+  }
 };
 
 /// Run `dydroid <args>` (path from the DYDROID_CLI env var, wired up by
@@ -43,6 +51,7 @@ RunResult run_cli(const std::string& args, const std::string& env = "") {
   }
   const int status = ::pclose(pipe);
   if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) result.term_signal = WTERMSIG(status);
   return result;
 }
 
@@ -196,6 +205,145 @@ TEST(CliArgs, MetricsRejectsBadTopCount) {
   EXPECT_EQ(result.exit_code, 2) << result.output;
   EXPECT_NE(result.output.find("bad --top"), std::string::npos)
       << result.output;
+}
+
+// --- corpus sharding flags (docs/SHARDING.md) ------------------------------
+
+TEST(CliShard, RejectsMalformedShardSpecs) {
+  REQUIRE_CLI();
+  for (const char* spec : {"abc", "3/2", "2/2", "1/0", "2", "1/",
+                           "/4", "-1/4", "1/4x"}) {
+    const auto result =
+        run_cli(std::string("survey --shard ") + spec);
+    EXPECT_EQ(result.exit_code, 2) << spec << ": " << result.output;
+    EXPECT_NE(result.output.find("bad --shard"), std::string::npos)
+        << spec << ": " << result.output;
+  }
+}
+
+TEST(CliShard, MergeNeedsAnOutputAndInputs) {
+  REQUIRE_CLI();
+  const auto result = run_cli("merge");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("merge: need"), std::string::npos)
+      << result.output;
+}
+
+TEST(CliShard, MergeFailsLoudlyOnAMissingJournal) {
+  REQUIRE_CLI();
+  const std::string missing =
+      testing::TempDir() + "/cli_shard_missing_" +
+      std::to_string(::getpid()) + ".jrnl";
+  const auto result =
+      run_cli("merge " + missing + ".out " + missing);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("merge:"), std::string::npos)
+      << result.output;
+}
+
+/// Lines that legitimately differ between a live run and a replay (timing
+/// and journal bookkeeping).
+bool is_timing_line(const std::string& line) {
+  return line.find("ms on") != std::string::npos ||
+         line.find("journal:") != std::string::npos ||
+         line.find("shard ") != std::string::npos;
+}
+
+std::string stable_output(const std::string& output) {
+  std::string stable;
+  std::size_t start = 0;
+  while (start < output.size()) {
+    std::size_t end = output.find('\n', start);
+    if (end == std::string::npos) end = output.size();
+    const std::string line = output.substr(start, end - start);
+    if (!is_timing_line(line)) stable += line + "\n";
+    start = end + 1;
+  }
+  return stable;
+}
+
+TEST(CliShard, ShardedSurveysMergeAndReplayToTheUnshardedSummary) {
+  REQUIRE_CLI();
+  const std::string dir = testing::TempDir();
+  const std::string tag = std::to_string(::getpid());
+  const std::string base = "survey --scale 0.002 --seed 7 --jobs 2";
+
+  const auto golden = run_cli(base);
+  ASSERT_EQ(golden.exit_code, 0) << golden.output;
+  ASSERT_NE(golden.output.find("surveyed"), std::string::npos)
+      << golden.output;
+
+  std::string merge_args;
+  std::string shard0_output;
+  for (int shard = 0; shard < 2; ++shard) {
+    const std::string journal =
+        dir + "/cli_shard_" + tag + "_s" + std::to_string(shard) + ".jrnl";
+    std::remove(journal.c_str());
+    const auto run = run_cli(base + " --shard " + std::to_string(shard) +
+                             "/2 --journal " + journal);
+    ASSERT_EQ(run.exit_code, 0) << run.output;
+    EXPECT_NE(run.output.find("shard " + std::to_string(shard) + "/2"),
+              std::string::npos)
+        << run.output;
+    merge_args += " " + journal;
+    if (shard == 0) shard0_output = run.output;
+  }
+  // Two half-corpus runs each cover strictly fewer apps than the golden.
+  EXPECT_NE(stable_output(shard0_output), stable_output(golden.output));
+
+  const std::string merged = dir + "/cli_shard_" + tag + "_merged.jrnl";
+  std::remove(merged.c_str());
+  const auto merge = run_cli("merge " + merged + merge_args);
+  ASSERT_EQ(merge.exit_code, 0) << merge.output;
+  EXPECT_NE(merge.output.find("merged 2 shard journal(s)"),
+            std::string::npos)
+      << merge.output;
+
+  const auto replay = run_cli(base + " --resume " + merged);
+  ASSERT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_EQ(stable_output(replay.output), stable_output(golden.output));
+
+  for (int shard = 0; shard < 2; ++shard) {
+    std::remove((dir + "/cli_shard_" + tag + "_s" + std::to_string(shard) +
+                 ".jrnl")
+                    .c_str());
+  }
+  std::remove(merged.c_str());
+}
+
+// --- signal-disposition regression (the leaked-handler bug) ----------------
+
+TEST(CliSignals, StopHandlerIsRestoredBeforeReportPrinting) {
+  REQUIRE_CLI();
+  // A journaled run installs the graceful-stop SIGINT handler for the
+  // duration of the run. DYDROID_TEST_RAISE_STOP simulates Ctrl-C at the
+  // start of the report phase: with the disposition restored the process
+  // must die to SIGINT before printing its summary. Under the old leaked
+  // handler the raise only flipped the (no longer read) stop flag and the
+  // full report printed with exit 0.
+  const std::string journal =
+      testing::TempDir() + "/cli_signal_" + std::to_string(::getpid()) +
+      ".jrnl";
+  std::remove(journal.c_str());
+  const auto result =
+      run_cli("survey --scale 0.002 --seed 7 --jobs 1 --journal " + journal,
+              "DYDROID_TEST_RAISE_STOP=1");
+  EXPECT_TRUE(result.died_to(SIGINT))
+      << "exit=" << result.exit_code << " signal=" << result.term_signal
+      << "\n" << result.output;
+  EXPECT_EQ(result.output.find("surveyed"), std::string::npos)
+      << result.output;
+  std::remove(journal.c_str());
+}
+
+TEST(CliSignals, UnjournaledRunsKeepTheDefaultDisposition) {
+  REQUIRE_CLI();
+  // Without a journal no handler is ever installed; the test hook's raise
+  // must kill the process the ordinary way.
+  const auto result = run_cli("survey --scale 0.002 --seed 7 --jobs 1",
+                              "DYDROID_TEST_RAISE_STOP=1");
+  EXPECT_TRUE(result.died_to(SIGINT))
+      << "exit=" << result.exit_code << " signal=" << result.term_signal;
 }
 
 #else  // !DYDROID_HAVE_SUBPROCESS

@@ -309,5 +309,70 @@ TEST(Journal, RecoveredByteAccountingAddsUp) {
             torn.size());
 }
 
+// ---------------------------------------------------------------------------
+// Shard-metadata record codec (docs/SHARDING.md).
+// ---------------------------------------------------------------------------
+
+ShardMeta sample_meta() {
+  ShardMeta meta;
+  meta.shard_index = 2;
+  meta.shard_count = 8;
+  meta.seed_base = 0xBE9C0000ull;
+  meta.corpus_size = 58739;
+  meta.outcome_codec_version = 2;
+  for (std::size_t i = 0; i < meta.config_fingerprint.size(); ++i) {
+    meta.config_fingerprint[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  return meta;
+}
+
+TEST(ShardMeta, RoundTripsAllFields) {
+  const ShardMeta meta = sample_meta();
+  const Bytes encoded = encode_shard_meta(meta);
+  ASSERT_TRUE(is_shard_meta(encoded));
+  EXPECT_EQ(encoded.front(), kShardMetaTag);
+  EXPECT_EQ(decode_shard_meta(encoded), meta);
+}
+
+TEST(ShardMeta, OutcomeRecordsAreNotMistakenForMetadata) {
+  // Outcome payloads lead with a codec version byte counting up from 1 —
+  // never the 0xF5 tag — so the first byte alone separates the kinds.
+  EXPECT_FALSE(is_shard_meta(bytes_of({1, 2, 3})));
+  EXPECT_FALSE(is_shard_meta(bytes_of({2})));
+  EXPECT_FALSE(is_shard_meta(Bytes{}));
+}
+
+TEST(ShardMeta, DecodeIsStrict) {
+  const Bytes good = encode_shard_meta(sample_meta());
+  // Wrong leading tag.
+  Bytes wrong_tag = good;
+  wrong_tag[0] = 1;
+  EXPECT_THROW((void)decode_shard_meta(wrong_tag), ParseError);
+  // Unsupported format version.
+  Bytes wrong_version = good;
+  wrong_version[1] = kShardMetaVersion + 1;
+  EXPECT_THROW((void)decode_shard_meta(wrong_version), ParseError);
+  // Truncations at every length.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW((void)decode_shard_meta(Bytes(good.begin(),
+                                               good.begin() + len)),
+                 ParseError)
+        << "length " << len;
+  }
+  // Trailing garbage.
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW((void)decode_shard_meta(trailing), ParseError);
+}
+
+TEST(ShardMeta, DecodeRejectsInconsistentShardFields) {
+  ShardMeta meta = sample_meta();
+  meta.shard_count = 0;  // a shard of nothing
+  EXPECT_THROW((void)decode_shard_meta(encode_shard_meta(meta)), ParseError);
+  meta.shard_count = 4;
+  meta.shard_index = 4;  // out of range
+  EXPECT_THROW((void)decode_shard_meta(encode_shard_meta(meta)), ParseError);
+}
+
 }  // namespace
 }  // namespace dydroid::support

@@ -1,0 +1,256 @@
+// Tier-2 merge fuzz belt (docs/SHARDING.md): no mutation of the shard
+// journals — truncations, bit flips, duplicated inputs — may ever produce
+// a silently corrupted merged survey. Every merge either fails loudly or
+// yields a journal whose replay is byte-identical to the unsharded golden
+// run. Mirrors the journal/cache fuzz belts: deterministic RNG, file
+// copies mutated in place, the originals untouched.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "appgen/corpus.hpp"
+#include "core/report_json.hpp"
+#include "driver/corpus_runner.hpp"
+#include "driver/shard_merge.hpp"
+#include "support/journal.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace dydroid::driver {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  return testing::TempDir() + "dydroid_shfuzz_" + tag + "_" +
+         std::to_string(::getpid()) + ".jrnl";
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Shared fixture state: golden per-app reports and pristine shard-journal
+/// bytes, produced once for the whole belt.
+class ShardFuzz : public testing::Test {
+ protected:
+  static constexpr std::uint32_t kShards = 3;
+
+  static void SetUpTestSuite() {
+    support::set_log_level(support::LogLevel::Error);
+    corpus_ = new appgen::Corpus;
+    appgen::CorpusConfig config;
+    config.scale = 0.002;
+    *corpus_ = appgen::generate_corpus(config);
+
+    const core::DyDroid pipeline{core::PipelineOptions{}};
+    RunnerConfig golden_config;
+    golden_config.jobs = 1;
+    const auto golden = CorpusRunner(pipeline, golden_config).run(*corpus_);
+    golden_json_ = new std::vector<std::string>;
+    for (const auto& outcome : golden.outcomes) {
+      golden_json_->push_back(core::report_to_json(outcome.report));
+    }
+
+    shard_bytes_ = new std::vector<std::vector<std::uint8_t>>;
+    for (std::uint32_t i = 0; i < kShards; ++i) {
+      const std::string path = temp_path("pristine" + std::to_string(i));
+      RunnerConfig config;
+      config.jobs = 1;
+      config.shard_index = i;
+      config.shard_count = kShards;
+      config.journal_path = path;
+      (void)CorpusRunner(pipeline, config).run(*corpus_);
+      shard_bytes_->push_back(slurp(path));
+      std::remove(path.c_str());
+      ASSERT_FALSE(shard_bytes_->back().empty());
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete golden_json_;
+    delete shard_bytes_;
+    corpus_ = nullptr;
+    golden_json_ = nullptr;
+    shard_bytes_ = nullptr;
+  }
+
+  /// Merge the given shard-journal byte images; if the merge succeeds, the
+  /// merged journal MUST replay byte-identical to golden. Returns whether
+  /// the merge succeeded.
+  static bool merge_never_corrupts(
+      const std::vector<std::vector<std::uint8_t>>& images,
+      const std::string& tag) {
+    std::vector<std::string> paths;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      paths.push_back(temp_path(tag + "_in" + std::to_string(i)));
+      spit(paths[i], images[i]);
+    }
+    const std::string out = temp_path(tag + "_out");
+    std::remove(out.c_str());
+    const auto merged = merge_shard_journals(out, paths);
+    if (merged.ok()) {
+      // The belt's whole point: success implies byte-identical replay.
+      const core::DyDroid pipeline{core::PipelineOptions{}};
+      RunnerConfig replay;
+      replay.jobs = 2;
+      replay.journal_path = out;
+      replay.resume = true;
+      const auto replayed = CorpusRunner(pipeline, replay).run(*corpus_);
+      EXPECT_EQ(replayed.replayed, corpus_->apps.size()) << tag;
+      EXPECT_EQ(replayed.analyzed, 0u) << tag;
+      for (std::size_t i = 0; i < golden_json_->size(); ++i) {
+        EXPECT_EQ(core::report_to_json(replayed.outcomes[i].report),
+                  (*golden_json_)[i])
+            << tag << " app " << i;
+      }
+    } else {
+      // Loud failure: the message names the problem, and the output path
+      // was never created.
+      EXPECT_FALSE(merged.error().empty()) << tag;
+      EXPECT_NE(::access(out.c_str(), F_OK), 0) << tag;
+    }
+    for (const auto& path : paths) std::remove(path.c_str());
+    std::remove(out.c_str());
+    return merged.ok();
+  }
+
+  static appgen::Corpus* corpus_;
+  static std::vector<std::string>* golden_json_;
+  static std::vector<std::vector<std::uint8_t>>* shard_bytes_;
+};
+
+appgen::Corpus* ShardFuzz::corpus_ = nullptr;
+std::vector<std::string>* ShardFuzz::golden_json_ = nullptr;
+std::vector<std::vector<std::uint8_t>>* ShardFuzz::shard_bytes_ = nullptr;
+
+TEST_F(ShardFuzz, PristineShardsMergeToGolden) {
+  EXPECT_TRUE(merge_never_corrupts(*shard_bytes_, "pristine"));
+}
+
+TEST_F(ShardFuzz, TruncationSweepNeverCorrupts) {
+  // Chop each shard at a spread of lengths, from empty through mid-frame
+  // cuts to one-byte-short. A truncated shard loses records, so the merge
+  // must fail on missing coverage (or missing metadata) — the only
+  // acceptable success is a cut that removed nothing.
+  support::Rng rng(0x5A4D01);
+  std::size_t merged_ok = 0;
+  for (std::uint32_t shard = 0; shard < kShards; ++shard) {
+    const auto& pristine = (*shard_bytes_)[shard];
+    std::vector<std::size_t> cuts = {0, 1, pristine.size() - 1,
+                                     pristine.size()};
+    for (int i = 0; i < 6; ++i) cuts.push_back(rng.below(pristine.size()));
+    for (const std::size_t cut : cuts) {
+      auto images = *shard_bytes_;
+      images[shard].resize(cut);
+      const std::string tag = "trunc_s" + std::to_string(shard) + "_c" +
+                              std::to_string(cut);
+      const bool ok = merge_never_corrupts(images, tag);
+      if (ok) ++merged_ok;
+      if (cut < pristine.size()) {
+        EXPECT_FALSE(ok) << tag << ": a real cut must lose a record";
+      }
+    }
+  }
+  EXPECT_EQ(merged_ok, kShards);  // only the no-op cuts merged
+}
+
+TEST_F(ShardFuzz, BitFlipSweepNeverCorrupts) {
+  // Flip one random bit per round, in one shard per round. The CRC frame
+  // layer turns flips into torn tails; the merge then fails on missing or
+  // mismatched records — or, if the flip landed in already-discarded
+  // bytes, succeeds with the golden result. Never a wrong merge.
+  support::Rng rng(0xB17F11);
+  for (int round = 0; round < 48; ++round) {
+    const std::uint32_t shard =
+        static_cast<std::uint32_t>(rng.below(kShards));
+    auto images = *shard_bytes_;
+    auto& bytes = images[shard];
+    const std::size_t pos = rng.below(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    merge_never_corrupts(images, "flip_r" + std::to_string(round));
+  }
+}
+
+TEST_F(ShardFuzz, GarbageAppendNeverCorrupts) {
+  // Random garbage appended after the sealed tail is torn-tail territory:
+  // recovery drops it, the real records all survive, the merge succeeds
+  // and must still replay to golden.
+  support::Rng rng(0x6A4BA6);
+  for (int round = 0; round < 8; ++round) {
+    const std::uint32_t shard =
+        static_cast<std::uint32_t>(rng.below(kShards));
+    auto images = *shard_bytes_;
+    const std::size_t extra = 1 + rng.below(64);
+    for (std::size_t i = 0; i < extra; ++i) {
+      images[shard].push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    merge_never_corrupts(images, "garbage_r" + std::to_string(round));
+  }
+}
+
+TEST_F(ShardFuzz, DuplicatedShardFileNeverCorrupts) {
+  // The same shard supplied twice must fail loudly, not double-count.
+  for (std::uint32_t shard = 0; shard < kShards; ++shard) {
+    auto images = *shard_bytes_;
+    images.push_back((*shard_bytes_)[shard]);
+    EXPECT_FALSE(
+        merge_never_corrupts(images, "dupfile_s" + std::to_string(shard)));
+  }
+}
+
+TEST_F(ShardFuzz, SwappedAndRepeatedInputsNeverCorrupt) {
+  // Order must not matter; a full permutation still merges to golden.
+  std::vector<std::vector<std::uint8_t>> reversed(shard_bytes_->rbegin(),
+                                                  shard_bytes_->rend());
+  EXPECT_TRUE(merge_never_corrupts(reversed, "reversed"));
+  // Replacing one shard with a copy of another (N journals, N-1 distinct
+  // shards) must fail loudly.
+  auto images = *shard_bytes_;
+  images[2] = images[0];
+  EXPECT_FALSE(merge_never_corrupts(images, "replaced"));
+}
+
+TEST_F(ShardFuzz, CrossMutationRoundsNeverCorrupt) {
+  // Compound damage: each round applies two independent mutations drawn
+  // from {flip, truncate, append-garbage} across random shards.
+  support::Rng rng(0xC0FFEE5);
+  for (int round = 0; round < 24; ++round) {
+    auto images = *shard_bytes_;
+    for (int m = 0; m < 2; ++m) {
+      auto& bytes = images[rng.below(kShards)];
+      switch (rng.below(3)) {
+        case 0:
+          if (bytes.empty()) break;  // fully truncated by a prior round
+          bytes[rng.below(bytes.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+          break;
+        case 1:
+          bytes.resize(rng.below(bytes.size() + 1));
+          break;
+        default:
+          bytes.push_back(static_cast<std::uint8_t>(rng.below(256)));
+          break;
+      }
+    }
+    merge_never_corrupts(images, "cross_r" + std::to_string(round));
+  }
+}
+
+}  // namespace
+}  // namespace dydroid::driver

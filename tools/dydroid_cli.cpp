@@ -42,6 +42,12 @@
 //       quarantined data points instead of driver outages; --mem-limit
 //       caps child address space and implies --isolate.
 //
+//   dydroid merge <out.journal> <shard.journal>...
+//       Fold the journals of N `survey --shard I/N` runs into one sealed
+//       journal whose --resume replay is byte-identical to an unsharded
+//       run (docs/SHARDING.md). Loud failures on overlapping/missing
+//       shards, mismatched config fingerprints or mixed codec versions.
+//
 //   dydroid faultcheck [--scale S] [--jobs 1,2,8] [--fraction F]
 //               [--no-corruption]
 //       Run the golden-corpus differential fault matrix (docs/FAULTS.md):
@@ -66,6 +72,7 @@
 #include "core/unpacker.hpp"
 #include "driver/corpus_runner.hpp"
 #include "driver/fault_matrix.hpp"
+#include "driver/shard_merge.hpp"
 #include "malware/families.hpp"
 #include "obfuscation/packer.hpp"
 #include "support/blob.hpp"
@@ -239,6 +246,38 @@ std::atomic<bool> g_stop{false};
 
 void handle_stop_signal(int) { g_stop.store(true); }
 
+/// Put SIGINT/SIGTERM back to their default dispositions once the runner
+/// has returned. The graceful-stop handler is only meaningful while the
+/// run polls g_stop; leaving it installed through the (potentially long)
+/// report/table printing phase made Ctrl-C a no-op — it flipped a flag
+/// nobody reads anymore and the process could not be interrupted.
+void restore_stop_signals() {
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+}
+
+/// Scope guard: arms on configure_journal's signal install, restores the
+/// defaults when the run block exits — on the normal path and when the
+/// runner throws (RunAborted's hint printing must be interruptible too).
+struct StopSignalRestorer {
+  bool armed = false;
+  ~StopSignalRestorer() {
+    if (armed) restore_stop_signals();
+  }
+};
+
+/// Test hook (CLI regression harness): DYDROID_TEST_RAISE_STOP raises
+/// SIGINT at the start of the report-printing phase, simulating an
+/// operator's Ctrl-C after the run. With the default disposition restored
+/// the signal must kill the process; under the old leaked handler it only
+/// flipped g_stop and the report printed as if nothing happened.
+void maybe_test_raise_stop() {
+  if (const char* hook = std::getenv("DYDROID_TEST_RAISE_STOP");
+      hook != nullptr && hook[0] != '\0') {
+    std::raise(SIGINT);
+  }
+}
+
 /// Fill the journal fields of a RunnerConfig from --journal / --resume /
 /// --fsync. Returns the journal path ("" = journaling off). With a journal
 /// active, SIGINT/SIGTERM switch from "kill the process" to "finish
@@ -256,6 +295,38 @@ std::string configure_journal(const Args& args,
     std::signal(SIGTERM, handle_stop_signal);
   }
   return path;
+}
+
+// --- corpus sharding plumbing (docs/SHARDING.md) ----------------------------
+
+/// Fill the shard fields of a RunnerConfig from --shard I/N. Returns the
+/// shard spec ("" = unsharded); a malformed spec is a usage error (exit 2).
+std::string configure_shard(const char* cmd, const Args& args,
+                            driver::RunnerConfig& config) {
+  if (!args.flag("shard")) return {};
+  const std::string spec = args.value("shard", "");
+  const auto slash = spec.find('/');
+  std::uint64_t index = 0;
+  std::uint64_t count = 0;
+  bool bad = slash == std::string::npos;
+  if (!bad) {
+    const auto i = support::parse_u64(spec.substr(0, slash));
+    const auto n = support::parse_u64(spec.substr(slash + 1));
+    bad = !i.ok() || !n.ok();
+    if (!bad) {
+      index = i.value();
+      count = n.value();
+    }
+  }
+  if (bad || count == 0 || index >= count || count > 0xFFFFFFFFull) {
+    std::fprintf(stderr,
+                 "%s: bad --shard value '%s' (want I/N with 0 <= I < N)\n",
+                 cmd, spec.c_str());
+    std::exit(2);
+  }
+  config.shard_index = static_cast<std::uint32_t>(index);
+  config.shard_count = static_cast<std::uint32_t>(count);
+  return spec;
 }
 
 // --- result cache plumbing (docs/CACHE.md) ----------------------------------
@@ -394,10 +465,14 @@ int cmd_analyze(const Args& args) {
       parse_u64_flag("analyze", "seed", args.value("seed", "1"));
   driver::RunnerConfig runner_config;
   const std::string journal_path = configure_journal(args, runner_config);
+  const std::string shard_spec = configure_shard("analyze", args, runner_config);
   const std::string cache_dir = configure_cache("analyze", args, runner_config);
   const bool isolate = configure_isolation("analyze", args, runner_config);
+  const std::string shard_hint =
+      shard_spec.empty() ? std::string() : " --shard " + shard_spec;
   core::DyDroid pipeline(std::move(options));
-  if (journal_path.empty() && cache_dir.empty() && !isolate) {
+  if (journal_path.empty() && cache_dir.empty() && !isolate &&
+      shard_spec.empty()) {
     const auto report = pipeline.analyze(bytes, seed);
     std::printf("%s", core::report_to_json(report).c_str());
     return 0;
@@ -412,21 +487,36 @@ int cmd_analyze(const Args& args) {
   const driver::CorpusRunner runner(pipeline, runner_config);
   driver::CorpusResult result;
   try {
+    StopSignalRestorer restore;
+    restore.armed = !journal_path.empty();
     result = runner.run(std::span<const driver::AppJob>(&job, 1));
   } catch (const driver::RunAborted& e) {
     std::fprintf(stderr, "analyze: %s\n", e.what());
     if (!journal_path.empty()) {
-      std::fprintf(stderr, "  resume with: dydroid analyze %s --resume %s\n",
-                   args.positional[0].c_str(), journal_path.c_str());
+      std::fprintf(stderr,
+                   "  resume with: dydroid analyze %s --resume %s%s\n",
+                   args.positional[0].c_str(), journal_path.c_str(),
+                   shard_hint.c_str());
     }
     return 3;
+  }
+  maybe_test_raise_stop();
+  if (result.shard_apps == 0) {
+    // A 1-app corpus sharded I/N with I > 0: this shard owns no apps —
+    // a valid empty shard, not an error (its journal still carries the
+    // shard metadata `dydroid merge` needs).
+    std::printf("shard %s owns no apps of a 1-app corpus; nothing to do\n",
+                shard_spec.c_str());
+    return 0;
   }
   if (result.interrupted || result.outcomes.empty() ||
       !result.outcomes[0].completed) {
     std::fprintf(stderr, "analyze: interrupted before the app completed\n");
     if (!journal_path.empty()) {
-      std::fprintf(stderr, "  resume with: dydroid analyze %s --resume %s\n",
-                   args.positional[0].c_str(), journal_path.c_str());
+      std::fprintf(stderr,
+                   "  resume with: dydroid analyze %s --resume %s%s\n",
+                   args.positional[0].c_str(), journal_path.c_str(),
+                   shard_hint.c_str());
     }
     return 3;
   }
@@ -531,22 +621,29 @@ int cmd_survey(const Args& args) {
   runner_config.jobs = static_cast<std::size_t>(
       parse_u64_flag("survey", "jobs", args.value("jobs", "0")));
   const std::string journal_path = configure_journal(args, runner_config);
+  const std::string shard_spec = configure_shard("survey", args, runner_config);
   const std::string cache_dir = configure_cache("survey", args, runner_config);
   const bool isolate = configure_isolation("survey", args, runner_config);
   const std::string trace_path = configure_observability(args);
+  const std::string shard_hint =
+      shard_spec.empty() ? std::string() : " --shard " + shard_spec;
   const driver::CorpusRunner runner(pipeline, runner_config);
   driver::CorpusResult result;
   try {
+    StopSignalRestorer restore;
+    restore.armed = !journal_path.empty();
     result = runner.run(corpus);
   } catch (const driver::RunAborted& e) {
     std::fprintf(stderr, "survey: %s\n", e.what());
     std::fprintf(stderr,
                  "  the journal is sealed; resume with: dydroid survey "
-                 "--scale %s --seed %s --resume %s\n",
+                 "--scale %s --seed %s --resume %s%s\n",
                  args.value("scale", "0.02").c_str(),
-                 args.value("seed", "20161101").c_str(), journal_path.c_str());
+                 args.value("seed", "20161101").c_str(), journal_path.c_str(),
+                 shard_hint.c_str());
     return 3;
   }
+  maybe_test_raise_stop();
   const auto& stats = result.stats;
   std::printf(
       "surveyed %zu apps: %zu intercepted DCL, %zu remote loaders, "
@@ -568,6 +665,13 @@ int cmd_survey(const Args& args) {
         "  sandbox: fork-per-app, %zu crashed, %zu oom-killed, "
         "%zu deadline-killed\n",
         stats.sandbox_crashed, stats.killed_oom, stats.killed_timeout);
+  }
+  if (!shard_spec.empty()) {
+    std::printf(
+        "  shard %s: %zu of %zu apps (global indices %u mod %u; merge the "
+        "shard journals with: dydroid merge)\n",
+        shard_spec.c_str(), result.shard_apps, corpus.apps.size(),
+        runner_config.shard_index, runner_config.shard_count);
   }
   if (!journal_path.empty()) {
     std::printf("  journal: %zu analyzed, %zu replayed -> %s\n",
@@ -603,12 +707,44 @@ int cmd_survey(const Args& args) {
     std::fprintf(stderr,
                  "survey: interrupted: %zu/%zu apps completed and journaled\n"
                  "  resume with: dydroid survey --scale %s --seed %s "
-                 "--resume %s\n",
-                 result.completed(), corpus.apps.size(),
+                 "--resume %s%s\n",
+                 result.completed(), result.shard_apps,
                  args.value("scale", "0.02").c_str(),
-                 args.value("seed", "20161101").c_str(), journal_path.c_str());
+                 args.value("seed", "20161101").c_str(), journal_path.c_str(),
+                 shard_hint.c_str());
     return 3;
   }
+  return 0;
+}
+
+int cmd_merge(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "merge: need <out.journal> <shard.journal>...\n");
+    return 2;
+  }
+  const std::vector<std::string> shards(args.positional.begin() + 1,
+                                        args.positional.end());
+  const auto merged = driver::merge_shard_journals(args.positional[0], shards);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "%s\n", merged.error().c_str());
+    return 1;
+  }
+  const driver::ShardMergeSummary& summary = merged.value();
+  std::printf("merged %u shard journal(s): %zu app outcome(s) -> %s\n",
+              summary.shard_count, summary.records_merged,
+              args.positional[0].c_str());
+  if (summary.duplicates_dropped > 0) {
+    std::printf("  %zu superseded duplicate record(s) dropped "
+                "(last-writer-wins)\n",
+                summary.duplicates_dropped);
+  }
+  if (summary.torn_bytes > 0) {
+    std::printf("  %zu torn/corrupt tail byte(s) recovered across inputs\n",
+                summary.torn_bytes);
+  }
+  std::printf(
+      "  replay with the matching survey: dydroid survey ... --resume %s\n",
+      args.positional[0].c_str());
   return 0;
 }
 
@@ -641,7 +777,8 @@ int cmd_faultcheck(const Args& args) {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: dydroid <gen|analyze|disasm|pack|unpack|survey|faultcheck> ...\n"
+      "usage: dydroid "
+      "<gen|analyze|disasm|pack|unpack|survey|merge|faultcheck> ...\n"
       "  gen <out.sapk> [--pkg P] [--ad] [--baidu] [--analytics]\n"
       "      [--own-dex] [--native] [--malware swiss|adware|chathook]\n"
       "      [--vuln dex-external|native-other] [--pack] [--lexical]\n"
@@ -655,9 +792,10 @@ void usage() {
       "  unpack <packed.sapk> <out.sapk> [--seed N]\n"
       "  survey [--scale S] [--seed N] [--jobs J] [--faults PLAN]\n"
       "      [--budget MS] [--retry] [--isolate] [--mem-limit BYTES]\n"
-      "      [--journal PATH | --resume PATH] [--fsync]\n"
+      "      [--journal PATH | --resume PATH] [--fsync] [--shard I/N]\n"
       "      [--cache DIR] [--cache-entries N] [--cache-bytes N]\n"
       "      [--trace OUT.json] [--metrics] [--top K]\n"
+      "  merge <out.journal> <shard.journal>...\n"
       "  faultcheck [--scale S] [--seed N] [--jobs 1,2,8] [--fraction F]\n"
       "      [--no-corruption]\n"
       "PLAN grammar (docs/FAULTS.md): site=always|never|nth:<N>|p:<P>,...\n"
@@ -667,6 +805,10 @@ void usage() {
       "Crash safety (docs/CHECKPOINT.md): --journal writes a CRC-framed\n"
       "write-ahead outcome log; a killed or interrupted run resumes with\n"
       "--resume PATH, re-running only the missing apps.\n"
+      "Sharding (docs/SHARDING.md): --shard I/N runs only global corpus\n"
+      "indices congruent to I mod N (seeds, journal records and cache keys\n"
+      "stay global); `merge` folds the N shard journals into one journal\n"
+      "whose --resume replay is byte-identical to an unsharded run.\n"
       "Result cache (docs/CACHE.md): --cache DIR replays identical\n"
       "(bytes, config, seed) work from a content-addressed store and\n"
       "dedups intercepted binaries corpus-wide; --cache-entries and\n"
@@ -687,7 +829,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const std::set<std::string> value_opts = {
       "pkg", "category", "seed", "malware", "vuln", "scale", "companion",
-      "jobs", "faults", "budget", "fraction", "journal", "resume",
+      "jobs", "faults", "budget", "fraction", "journal", "resume", "shard",
       "trace", "top", "cache", "cache-entries", "cache-bytes", "mem-limit"};
   const auto args = parse(argc, argv, 2, value_opts);
   try {
@@ -697,6 +839,7 @@ int main(int argc, char** argv) {
     if (cmd == "pack") return cmd_pack(args);
     if (cmd == "unpack") return cmd_unpack(args);
     if (cmd == "survey") return cmd_survey(args);
+    if (cmd == "merge") return cmd_merge(args);
     if (cmd == "faultcheck") return cmd_faultcheck(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dydroid: %s\n", e.what());

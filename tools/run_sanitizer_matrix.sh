@@ -14,9 +14,15 @@
 #   tools/run_sanitizer_matrix.sh tsan -- -L isolate
 #
 # runs just the fork-per-app sandbox suites (docs/ISOLATION.md) — worth a
-# dedicated pass since they fork from worker threads. RLIMIT_AS is
-# auto-skipped under ASan/TSan (address_space_limit_supported); the rest
-# of the sandbox runs sanitized like everything else.
+# dedicated pass since they fork from worker threads, and
+#
+#   tools/run_sanitizer_matrix.sh tsan -- -L shard
+#
+# runs the sharded-execution and merge suites (docs/SHARDING.md), which
+# replay merged journals at several worker counts and so make a good TSan
+# target too. RLIMIT_AS is auto-skipped under ASan/TSan
+# (address_space_limit_supported); the rest of the sandbox runs sanitized
+# like everything else.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
