@@ -79,24 +79,27 @@ std::string cache_from_env() {
 }
 
 // Optional process-isolation sandbox for the bench corpus, from the
-// DYDROID_ISOLATE env var (docs/ISOLATION.md). Same spelling rules as
-// DYDROID_RESUME; clean runs produce byte-identical reports either way,
-// so flipping this only moves the timing columns.
-bool isolate_from_env() {
+// DYDROID_ISOLATE env var (docs/ISOLATION.md). Truthy spellings (and
+// "fork") select fork-per-app, "pool" selects the persistent worker pool;
+// clean runs produce byte-identical reports in every mode, so flipping
+// this only moves the timing columns.
+driver::IsolationMode isolation_from_env() {
   const char* flag = std::getenv("DYDROID_ISOLATE");
-  if (flag == nullptr || flag[0] == '\0') return false;
+  if (flag == nullptr || flag[0] == '\0') return driver::IsolationMode::kOff;
   const std::string text = support::to_lower(flag);
-  if (text == "1" || text == "true" || text == "yes" || text == "on") {
-    return true;
+  if (text == "1" || text == "true" || text == "yes" || text == "on" ||
+      text == "fork") {
+    return driver::IsolationMode::kForkPerApp;
   }
+  if (text == "pool") return driver::IsolationMode::kPool;
   if (text == "0" || text == "false" || text == "no" || text == "off") {
-    return false;
+    return driver::IsolationMode::kOff;
   }
   std::fprintf(stderr,
                "bench: ignoring invalid DYDROID_ISOLATE value \"%s\" "
-               "(want 1/true/yes/on or 0/false/no/off)\n",
+               "(want 1/true/yes/on/fork, pool, or 0/false/no/off)\n",
                flag);
-  return false;
+  return driver::IsolationMode::kOff;
 }
 
 // Optional corpus shard for the bench run, from the DYDROID_SHARD env var
@@ -180,7 +183,7 @@ Measurement measure_corpus(const malware::DroidNative* detector,
   runner_config.resume =
       !runner_config.journal_path.empty() && resume_from_env();
   runner_config.cache_dir = cache_from_env();
-  runner_config.isolate = isolate_from_env();
+  runner_config.isolation_mode = isolation_from_env();
   const ShardSpec shard = shard_from_env();
   runner_config.shard_index = shard.index;
   runner_config.shard_count = shard.count;

@@ -322,11 +322,13 @@ void BM_CacheWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheWarm)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
-// Fork-per-app process isolation (docs/ISOLATION.md): the same corpus run
-// in-thread (Arg 0) and with every app forked into a sandboxed child
-// (Arg 1). The delta is pure containment cost — fork, pipe shipment of the
-// encoded outcome, and reap — since clean children produce byte-identical
-// reports to thread mode.
+// Process isolation (docs/ISOLATION.md): the same corpus run in-thread
+// (Arg 0), with every app forked into a fresh sandboxed child (Arg 1), and
+// on the persistent worker pool (Arg 2). The fork-mode delta is pure
+// containment cost — fork, pipe shipment of the encoded outcome, and reap —
+// while the pool amortizes the fork across the worker's lifetime and pays
+// only the per-app RPC. Clean children produce byte-identical reports in
+// every mode.
 void BM_IsolationOverhead(benchmark::State& state) {
   support::set_log_level(support::LogLevel::Error);
   appgen::CorpusConfig config;
@@ -335,16 +337,27 @@ void BM_IsolationOverhead(benchmark::State& state) {
   const core::DyDroid pipeline{core::PipelineOptions{}};
   driver::RunnerConfig runner_config;
   runner_config.jobs = 1;
-  runner_config.isolate = state.range(0) != 0;
+  runner_config.isolation_mode = static_cast<driver::IsolationMode>(
+      static_cast<std::uint8_t>(state.range(0)));
   const driver::CorpusRunner runner(pipeline, runner_config);
   for (auto _ : state) {
     benchmark::DoNotOptimize(runner.run(corpus));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(corpus.apps.size()));
-  state.SetLabel(runner_config.isolate ? "isolate=on" : "isolate=off");
+  switch (runner_config.isolation_mode) {
+    case driver::IsolationMode::kOff: state.SetLabel("isolate=off"); break;
+    case driver::IsolationMode::kForkPerApp:
+      state.SetLabel("isolate=fork");
+      break;
+    case driver::IsolationMode::kPool: state.SetLabel("isolate=pool"); break;
+  }
 }
-BENCHMARK(BM_IsolationOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IsolationOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 // Sharded corpus merge (docs/SHARDING.md): Arg shard journals are produced
 // once outside the timed region (N shard runs, each journaling its residue
@@ -401,9 +414,19 @@ void emit_corpus_bench_json() {
   serial_config.jobs = 1;
   auto serial = driver::CorpusRunner(pipeline, serial_config).run(corpus);
 
+  // Like every A/B pair below, the parallel run is best-of-3: a single
+  // sample on a shared runner can lose to scheduler noise and report a
+  // "slowdown" that no real campaign sees, and the outcomes are
+  // deterministic either way.
   driver::RunnerConfig parallel_config;  // jobs = DYDROID_JOBS / hardware
-  const auto parallel =
-      driver::CorpusRunner(pipeline, parallel_config).run(corpus);
+  auto parallel = driver::CorpusRunner(pipeline, parallel_config).run(corpus);
+  for (int rep = 1; rep < 3; ++rep) {
+    auto parallel_rep =
+        driver::CorpusRunner(pipeline, parallel_config).run(corpus);
+    if (parallel_rep.wall_ms < parallel.wall_ms) {
+      parallel = std::move(parallel_rep);
+    }
+  }
 
   // Same serial run with the write-ahead journal on (docs/CHECKPOINT.md):
   // the overhead budget is <5% wall time. A single A/B pair is hostage to
@@ -432,12 +455,14 @@ void emit_corpus_bench_json() {
           ? 100.0 * (journaled.wall_ms - serial.wall_ms) / serial.wall_ms
           : 0.0;
 
-  // Fork-per-app isolation (docs/ISOLATION.md): same corpus, every app in
-  // a sandboxed child. Best-of-3 against the best serial run, same as the
-  // journal A/B — the overhead is fork + pipe + reap per app.
+  // Process isolation (docs/ISOLATION.md): same corpus, every app in a
+  // sandboxed child. Fork-per-app pays fork + pipe + reap per app; the
+  // worker pool forks once per runner thread and pays only a framed RPC
+  // per app. Both best-of-3 against the best serial run, same as the
+  // journal A/B.
   driver::RunnerConfig isolate_config;
   isolate_config.jobs = 1;
-  isolate_config.isolate = true;
+  isolate_config.isolation_mode = driver::IsolationMode::kForkPerApp;
   auto isolated = driver::CorpusRunner(pipeline, isolate_config).run(corpus);
   for (int rep = 1; rep < 3; ++rep) {
     auto isolate_rep =
@@ -457,6 +482,26 @@ void emit_corpus_bench_json() {
     isolation_identical =
         core::report_to_json(serial.outcomes[i].report) ==
         core::report_to_json(isolated.outcomes[i].report);
+  }
+
+  driver::RunnerConfig pool_config;
+  pool_config.jobs = 1;
+  pool_config.isolation_mode = driver::IsolationMode::kPool;
+  auto pooled = driver::CorpusRunner(pipeline, pool_config).run(corpus);
+  for (int rep = 1; rep < 3; ++rep) {
+    auto pool_rep = driver::CorpusRunner(pipeline, pool_config).run(corpus);
+    if (pool_rep.wall_ms < pooled.wall_ms) pooled = std::move(pool_rep);
+  }
+  const double pool_overhead_pct =
+      serial.wall_ms > 0
+          ? 100.0 * (pooled.wall_ms - serial.wall_ms) / serial.wall_ms
+          : 0.0;
+  const double pool_speedup_vs_fork =
+      pooled.wall_ms > 0 ? isolated.wall_ms / pooled.wall_ms : 0.0;
+  bool pool_identical = serial.outcomes.size() == pooled.outcomes.size();
+  for (std::size_t i = 0; pool_identical && i < serial.outcomes.size(); ++i) {
+    pool_identical = core::report_to_json(serial.outcomes[i].report) ==
+                     core::report_to_json(pooled.outcomes[i].report);
   }
 
   // Content-addressed result cache (docs/CACHE.md): a cold run populates
@@ -538,16 +583,36 @@ void emit_corpus_bench_json() {
 
   // Metrics-instrumented serial pass (docs/OBSERVABILITY.md): per-stage
   // latency quantiles for the `metrics` section, plus the instrumentation
-  // overhead vs. the best uninstrumented serial run (budget: ~1%).
-  support::set_metrics_enabled(true);
-  support::metrics_reset();
-  const auto instrumented =
-      driver::CorpusRunner(pipeline, serial_config).run(corpus);
-  support::set_metrics_enabled(false);
+  // overhead (budget: low single digits). Three *interleaved* plain /
+  // metered pairs, minima compared — a lone instrumented sample on a
+  // noisy runner once read as a 39% "regression", and comparing against
+  // the program-start serial baseline still inflated the figure past 15%
+  // (by this point the fork/cache/shard passes have reshaped the heap and
+  // page cache), so the baseline is re-measured here, adjacent to the
+  // metered reps. The quantiles come from the last metered pass (reset
+  // each rep, so counts stay single-run).
+  double plain_wall_ms = 0.0;
+  double instrumented_wall_ms = 0.0;
+  driver::CorpusResult instrumented;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto plain_rep =
+        driver::CorpusRunner(pipeline, serial_config).run(corpus);
+    plain_wall_ms = rep == 0 ? plain_rep.wall_ms
+                             : std::min(plain_wall_ms, plain_rep.wall_ms);
+    support::set_metrics_enabled(true);
+    support::metrics_reset();
+    auto instrumented_rep =
+        driver::CorpusRunner(pipeline, serial_config).run(corpus);
+    support::set_metrics_enabled(false);
+    instrumented_wall_ms =
+        rep == 0 ? instrumented_rep.wall_ms
+                 : std::min(instrumented_wall_ms, instrumented_rep.wall_ms);
+    instrumented = std::move(instrumented_rep);
+  }
   const auto metrics = support::metrics_snapshot();
   const double metrics_overhead_pct =
-      serial.wall_ms > 0
-          ? 100.0 * (instrumented.wall_ms - serial.wall_ms) / serial.wall_ms
+      plain_wall_ms > 0
+          ? 100.0 * (instrumented_wall_ms - plain_wall_ms) / plain_wall_ms
           : 0.0;
   std::string metrics_json;
   {
@@ -612,8 +677,11 @@ void emit_corpus_bench_json() {
                " \"apps_per_sec\": %.1f},\n"
                "  \"journaled\": {\"jobs\": 1, \"wall_ms\": %.2f,"
                " \"overhead_pct\": %.2f},\n"
-               "  \"isolation\": {\"jobs\": 1, \"wall_ms\": %.2f,"
+               "  \"isolation\": {\"jobs\": 1,\n"
+               "    \"fork_per_app\": {\"wall_ms\": %.2f,"
                " \"overhead_pct\": %.2f, \"reports_identical\": %s},\n"
+               "    \"pool\": {\"wall_ms\": %.2f, \"overhead_pct\": %.2f,"
+               " \"reports_identical\": %s, \"speedup_vs_fork\": %.2f}},\n"
                "  \"cache\": {\"cold_wall_ms\": %.2f, \"warm_wall_ms\": %.2f,"
                " \"hit_rate\": %.4f, \"warm_speedup\": %.2f,"
                " \"unique_binaries\": %zu, \"total_binaries\": %zu},\n"
@@ -632,7 +700,9 @@ void emit_corpus_bench_json() {
                serial.wall_ms, serial_aps, parallel.threads, parallel.wall_ms,
                parallel_aps, journaled.wall_ms, journal_overhead_pct,
                isolated.wall_ms, isolation_overhead_pct,
-               isolation_identical ? "true" : "false",
+               isolation_identical ? "true" : "false", pooled.wall_ms,
+               pool_overhead_pct, pool_identical ? "true" : "false",
+               pool_speedup_vs_fork,
                cold.wall_ms, warm.wall_ms, cache_hit_rate, warm_speedup,
                warm.dedup.unique, warm.dedup.total,
                metrics_overhead_pct, metrics_json.c_str(), parses_per_app,
@@ -645,14 +715,15 @@ void emit_corpus_bench_json() {
   std::printf(
       "\nBENCH_corpus.json: %zu apps, serial %.1f ms (%.0f apps/s), "
       "parallel[%zu] %.1f ms (%.0f apps/s), speedup %.2fx, identical=%s, "
-      "journal overhead %+.1f%%, isolation overhead %+.1f%%, "
-      "cache warm %.2fx (hit rate %.0f%%), shard merge[%u] %.1f ms "
-      "(identical=%s)\n",
+      "journal overhead %+.1f%%, isolation fork %+.1f%% / pool %+.1f%% "
+      "(%.1fx faster than fork), cache warm %.2fx (hit rate %.0f%%), "
+      "shard merge[%u] %.1f ms (identical=%s)\n",
       corpus.apps.size(), serial.wall_ms, serial_aps, parallel.threads,
       parallel.wall_ms, parallel_aps,
       parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0,
       identical ? "true" : "false", journal_overhead_pct,
-      isolation_overhead_pct, warm_speedup, 100.0 * cache_hit_rate, kShards,
+      isolation_overhead_pct, pool_overhead_pct, pool_speedup_vs_fork,
+      warm_speedup, 100.0 * cache_hit_rate, kShards,
       merge_ms, shard_identical ? "true" : "false");
 }
 

@@ -21,6 +21,7 @@
 #include "support/strings.hpp"
 #include "support/subprocess.hpp"
 #include "support/trace.hpp"
+#include "support/worker_pool.hpp"
 
 namespace dydroid::driver {
 
@@ -653,14 +654,266 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
     }
   };
 
+  // --- persistent worker pool (docs/ISOLATION.md §3) -----------------------
+  // One long-lived forked child per driver thread, dispatched over a framed
+  // RPC pipe: the fork cost is amortized over every app the worker serves,
+  // while the per-attempt failure taxonomy (crash / OOM / deadline /
+  // external kill) classifies exactly as fork-per-app mode does. Ownership
+  // is strictly 1:1 — each thread only ever touches its own slot, so the
+  // vector needs no locks.
+  std::vector<std::optional<support::PoolWorker>> pool_workers(
+      config_.isolation_mode == IsolationMode::kPool ? result.threads : 0);
+
+  /// Child-side serve loop (runs in the forked worker): one framed request
+  /// per iteration, each running the *identical* run_attempt machinery the
+  /// thread and fork-per-app modes use — which is what keeps clean pool
+  /// outcomes byte-identical to both. EOF on the request pipe is the
+  /// graceful-shutdown signal; any protocol damage exits loudly (a
+  /// desynchronized stream cannot be resynchronized).
+  const auto pool_serve = [&](int request_fd, int response_fd) -> int {
+    support::Bytes message;
+    for (;;) {
+      std::uint8_t header[support::kPoolMessageHeader];
+      const ssize_t got =
+          support::read_exact(request_fd, header, sizeof header);
+      if (got == 0) return 0;  // clean EOF between requests: shut down
+      if (got != static_cast<ssize_t>(sizeof header)) return 3;
+      const std::uint32_t payload_len =
+          static_cast<std::uint32_t>(header[8]) |
+          (static_cast<std::uint32_t>(header[9]) << 8) |
+          (static_cast<std::uint32_t>(header[10]) << 16) |
+          (static_cast<std::uint32_t>(header[11]) << 24);
+      if (payload_len > support::kPoolMaxMessageBytes) return 3;
+      message.assign(header, header + sizeof header);
+      message.resize(sizeof header + payload_len);
+      if (payload_len > 0 &&
+          support::read_exact(request_fd, message.data() + sizeof header,
+                              payload_len) !=
+              static_cast<ssize_t>(payload_len)) {
+        return 3;
+      }
+      const auto request = decode_pool_request(message);
+      if (!request.ok()) return 3;
+      const PoolRequest& req = request.value();
+      if (req.app_index >= jobs.size()) return 3;
+      // The injected sandbox.crash decision is drawn in the supervisor
+      // (deterministically) and *executed* here as a real abort, exactly
+      // like the fork-per-app child.
+      if (req.crash_child) std::abort();
+      AppOutcome child_outcome;
+      child_outcome.seed = req.seed;
+      (void)run_attempt(jobs[req.app_index], child_outcome, req.attempt,
+                        req.app_index, req.worker);
+      const support::Bytes response =
+          encode_pool_response(req.app_index, child_outcome);
+      if (!support::write_fully(response_fd, response.data(),
+                                response.size())) {
+        return 3;
+      }
+    }
+  };
+
+  /// One pooled attempt: same preamble, fault sites, classification ladder
+  /// and synthesized messages as sandbox_attempt — only the mechanics of
+  /// reaching the child differ (a framed RPC instead of a fork). Worker
+  /// recycling (injected, after K apps, or on RSS growth) happens strictly
+  /// *between* attempts, so it can never change an outcome.
+  const auto pool_attempt = [&](const AppJob& /*job: child looks it up*/,
+                                AppOutcome& outcome, std::uint32_t attempt,
+                                std::size_t index,
+                                std::size_t worker_id) -> bool {
+    outcome.attempts = attempt + 1;
+    outcome.sandbox_fate = SandboxFate::kNone;
+    outcome.fatal_signal = 0;
+
+    const support::TraceContextScope trace_context(
+        trace_app_id(index), attempt, static_cast<std::uint32_t>(worker_id));
+
+    std::optional<support::FaultSession> sandbox_faults;
+    std::optional<support::FaultScope> sandbox_scope;
+    if (options.faults != nullptr && !options.faults->empty()) {
+      sandbox_faults.emplace(
+          *options.faults,
+          support::fault_session_seed(outcome.seed ^ kSandboxFaultSalt,
+                                      attempt));
+      sandbox_scope.emplace(&*sandbox_faults);
+    }
+    const bool crash_child =
+        support::fault_fire(support::FaultSite::kSandboxCrash);
+
+    support::SubprocessLimits limits;
+    limits.max_memory_bytes = config_.sandbox_mem_limit_bytes;
+    limits.cpu_time_s = config_.sandbox_cpu_limit_s;
+    limits.wall_deadline_ms = sandbox_deadline_ms;
+
+    const support::Stopwatch attempt_clock;
+    struct AttemptWall {
+      const support::Stopwatch* clock;
+      double* into;
+      ~AttemptWall() { *into += clock->elapsed_ms(); }
+    } wall_guard{&attempt_clock, &outcome.wall_ms};
+
+    const auto synthesize = [&](SandboxFate fate, int signal,
+                                std::string message) {
+      outcome.report = core::AppReport{};
+      outcome.report.status = core::DynamicStatus::kCrash;
+      outcome.report.crash_message = std::move(message);
+      outcome.sandbox_fate = fate;
+      outcome.fatal_signal = static_cast<std::uint8_t>(signal);
+      if (fate == SandboxFate::kTimedOut) outcome.timed_out = true;
+      support::count(fate == SandboxFate::kCrashed ? "sandbox.crashed"
+                                                   : "sandbox.killed");
+      return true;
+    };
+
+    std::optional<support::PoolWorker>& slot = pool_workers[worker_id];
+    for (int respawn = 0;; ++respawn) {
+      // The spawn fault is drawn *unconditionally* — "would the spawn this
+      // attempt might need fail?" — never gated on whether this thread's
+      // worker happens to be alive. Gating it on pool state would make the
+      // hit stream (and therefore which apps fail under p: mode) depend on
+      // the worker count, breaking byte-identical reports at any -j.
+      const bool spawn_fault =
+          support::fault_fire(support::FaultSite::kPoolSpawn);
+      if (spawn_fault) {
+        if (slot.has_value()) {
+          slot->kill();
+          slot.reset();
+        }
+        return synthesize(
+            SandboxFate::kCrashed, 0,
+            "sandbox: spawn failed: " +
+                support::fault_message(support::FaultSite::kPoolSpawn));
+      }
+      if (!slot.has_value()) {
+        const support::Span spawn_span("sandbox", "pool.spawn");
+        auto spawned = support::PoolWorker::spawn(pool_serve, limits);
+        if (!spawned.ok()) {
+          return synthesize(SandboxFate::kCrashed, 0,
+                            "sandbox: spawn failed: " + spawned.error());
+        }
+        slot.emplace(std::move(spawned).take());
+        support::count("sandbox.pool.spawned");
+      }
+
+      PoolRequest request;
+      request.app_index = index;
+      request.attempt = attempt;
+      request.seed = outcome.seed;
+      request.worker = static_cast<std::uint32_t>(worker_id);
+      request.crash_child = crash_child;
+      support::PoolRpcResult rpc;
+      {
+        const support::Span rpc_span("sandbox", "pool.rpc");
+        support::count("sandbox.pool.rpcs");
+        rpc = slot->call(encode_pool_request(request), kPoolRpcMagic,
+                         sandbox_deadline_ms);
+      }
+
+      using RpcStatus = support::PoolRpcResult::Status;
+      if (rpc.status == RpcStatus::kTimeout) {
+        slot.reset();
+        return synthesize(
+            SandboxFate::kTimedOut, SIGKILL,
+            support::format(
+                "sandbox: killed after exceeding the %.0f ms wall deadline",
+                sandbox_deadline_ms));
+      }
+      if (rpc.status == RpcStatus::kWorkerExit ||
+          rpc.status == RpcStatus::kError) {
+        slot.reset();
+        if (rpc.exited && rpc.exit_code == support::kOomExitCode) {
+          return synthesize(
+              SandboxFate::kOomKilled, 0,
+              "sandbox: allocation failed under the memory limit");
+        }
+        if (!rpc.exited && rpc.term_signal == SIGKILL) {
+          // A SIGKILL that is not ours: kernel OOM killer or an external
+          // kill. The in-flight app is transparently re-dispatched to a
+          // fresh worker, bounded exactly like fork mode's respawns.
+          if (respawn < kExternalKillRespawns) {
+            support::count("sandbox.respawned");
+            continue;
+          }
+          return synthesize(SandboxFate::kOomKilled, SIGKILL,
+                            "sandbox: child SIGKILLed repeatedly "
+                            "(kernel out-of-memory kill)");
+        }
+        if (!rpc.exited && rpc.term_signal != 0) {
+          return synthesize(
+              SandboxFate::kCrashed, rpc.term_signal,
+              support::format("sandbox: child died on signal %d",
+                              rpc.term_signal));
+        }
+        if (rpc.exited && rpc.exit_code != 0) {
+          return synthesize(
+              SandboxFate::kCrashed, 0,
+              support::format("sandbox: child exited with code %d",
+                              rpc.exit_code));
+        }
+        return synthesize(SandboxFate::kCrashed, 0,
+                          rpc.error.empty()
+                              ? "sandbox: worker exited before shipping a "
+                                "response"
+                              : rpc.error);
+      }
+
+      // Clean response: decode it, honoring the torn-RPC injection site.
+      auto decoded =
+          support::fault_fire(support::FaultSite::kPoolRpc)
+              ? support::Result<DecodedOutcome>::failure(
+                    support::fault_message(support::FaultSite::kPoolRpc))
+              : decode_pool_response(rpc.message);
+      if (!decoded.ok()) {
+        // A response that framed but does not decode means the stream can
+        // no longer be trusted: retire the worker along with the outcome.
+        slot->kill();
+        slot.reset();
+        return synthesize(SandboxFate::kCrashed, 0, decoded.error());
+      }
+      AppOutcome shipped = std::move(decoded.value().outcome);
+      if (decoded.value().index != index || shipped.seed != outcome.seed) {
+        slot->kill();
+        slot.reset();
+        return synthesize(SandboxFate::kCrashed, 0,
+                          "sandbox: result frame for the wrong app");
+      }
+      outcome.report = std::move(shipped.report);
+      if (shipped.timed_out) outcome.timed_out = true;
+
+      // Between-attempt recycling: the outcome above is already settled, so
+      // retiring the worker here can never change a report — only reset its
+      // accumulated CPU time and heap growth.
+      const bool recycle =
+          support::fault_fire(support::FaultSite::kPoolRecycle) ||
+          (config_.pool_recycle_apps > 0 &&
+           slot->served() >= config_.pool_recycle_apps) ||
+          (config_.pool_recycle_rss_bytes > 0 &&
+           slot->rss_bytes() > config_.pool_recycle_rss_bytes);
+      if (recycle) {
+        slot->shutdown();
+        slot.reset();
+        support::count("sandbox.pool.recycled");
+      }
+      return shipped.timed_out ||
+             outcome.report.status == core::DynamicStatus::kCrash;
+    }
+  };
+
   /// Attempt dispatcher: the retry policy below is mode-blind; only the
-  /// mechanics of one attempt differ between thread and isolate mode.
+  /// mechanics of one attempt differ between the isolation modes.
   const auto one_attempt = [&](const AppJob& job, AppOutcome& outcome,
                                std::uint32_t attempt, std::size_t index,
                                std::size_t worker_id) {
-    return config_.isolate
-               ? sandbox_attempt(job, outcome, attempt, index, worker_id)
-               : run_attempt(job, outcome, attempt, index, worker_id);
+    switch (config_.isolation_mode) {
+      case IsolationMode::kForkPerApp:
+        return sandbox_attempt(job, outcome, attempt, index, worker_id);
+      case IsolationMode::kPool:
+        return pool_attempt(job, outcome, attempt, index, worker_id);
+      case IsolationMode::kOff:
+        break;
+    }
+    return run_attempt(job, outcome, attempt, index, worker_id);
   };
 
   /// Full per-app policy: timeout + single-retry-then-quarantine
@@ -831,6 +1084,12 @@ CorpusResult CorpusRunner::run(std::span<const AppJob> jobs) const {
           trace_app_id(index), 0, static_cast<std::uint32_t>(worker_id));
       process_app(jobs[index], outcome, index, worker_id);
       if (journal.has_value() && !journal_outcome(index, outcome)) break;
+    }
+    // Retire this thread's pooled worker gracefully (EOF-driven exit) on
+    // every way out of the loop — corpus drained, graceful stop, abort.
+    if (worker_id < pool_workers.size() && pool_workers[worker_id]) {
+      pool_workers[worker_id]->shutdown();
+      pool_workers[worker_id].reset();
     }
   };
 

@@ -46,4 +46,98 @@ support::Result<DecodedOutcome> decode_sandbox_result(
   }
 }
 
+namespace {
+
+/// Parse one `magic frame` message and hand back the single intact record.
+support::Result<support::Bytes> single_record(
+    std::span<const std::uint8_t> data,
+    const std::array<std::uint8_t, 8>& magic, const char* what) {
+  if (data.empty()) {
+    return support::Result<support::Bytes>::failure(
+        std::string("pool: empty ") + what + " message");
+  }
+  auto parsed = support::parse_journal(data, magic);
+  if (!parsed.ok()) {
+    return support::Result<support::Bytes>::failure("pool: " + parsed.error());
+  }
+  const auto& read = parsed.value();
+  if (read.records.size() != 1 || read.torn()) {
+    return support::Result<support::Bytes>::failure(support::format(
+        "pool: expected one intact %s frame, got %zu record(s) with "
+        "%zu damaged trailing byte(s)",
+        what, read.records.size(), read.bytes_discarded));
+  }
+  return support::Bytes(read.records.front().begin(),
+                        read.records.front().end());
+}
+
+}  // namespace
+
+support::Bytes encode_pool_request(const PoolRequest& request) {
+  support::ByteWriter payload;
+  payload.u64(request.app_index);
+  payload.u32(request.attempt);
+  payload.u64(request.seed);
+  payload.u32(request.worker);
+  payload.u8(request.crash_child ? 1 : 0);
+  support::ByteWriter stream;
+  stream.reserve(payload.size() + kPoolRpcMagic.size() +
+                 support::kJournalFrameOverhead);
+  stream.raw(kPoolRpcMagic);
+  support::encode_frame(stream, payload.data());
+  return stream.take();
+}
+
+support::Result<PoolRequest> decode_pool_request(
+    std::span<const std::uint8_t> data) {
+  auto record = single_record(data, kPoolRpcMagic, "request");
+  if (!record.ok()) {
+    return support::Result<PoolRequest>::failure(record.error());
+  }
+  try {
+    support::ByteReader reader(record.value());
+    PoolRequest request;
+    request.app_index = reader.u64();
+    request.attempt = reader.u32();
+    request.seed = reader.u64();
+    request.worker = reader.u32();
+    request.crash_child = reader.u8() != 0;
+    if (!reader.at_end()) {
+      return support::Result<PoolRequest>::failure(
+          "pool: trailing bytes after request payload");
+    }
+    return request;
+  } catch (const std::exception& e) {
+    return support::Result<PoolRequest>::failure(
+        std::string("pool: corrupt request payload: ") + e.what());
+  }
+}
+
+support::Bytes encode_pool_response(std::size_t app_index,
+                                    const AppOutcome& outcome) {
+  support::ByteWriter payload;
+  payload.reserve(512);
+  encode_outcome_into(app_index, outcome, payload);
+  support::ByteWriter stream;
+  stream.reserve(payload.size() + kPoolRpcMagic.size() +
+                 support::kJournalFrameOverhead);
+  stream.raw(kPoolRpcMagic);
+  support::encode_frame(stream, payload.data());
+  return stream.take();
+}
+
+support::Result<DecodedOutcome> decode_pool_response(
+    std::span<const std::uint8_t> data) {
+  auto record = single_record(data, kPoolRpcMagic, "response");
+  if (!record.ok()) {
+    return support::Result<DecodedOutcome>::failure(record.error());
+  }
+  try {
+    return decode_outcome(record.value());
+  } catch (const std::exception& e) {
+    return support::Result<DecodedOutcome>::failure(
+        std::string("pool: corrupt response payload: ") + e.what());
+  }
+}
+
 }  // namespace dydroid::driver

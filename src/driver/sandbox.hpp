@@ -44,4 +44,44 @@ inline constexpr std::array<std::uint8_t, 8> kSandboxMagic = {
 [[nodiscard]] support::Result<DecodedOutcome> decode_sandbox_result(
     std::span<const std::uint8_t> data);
 
+// ---- Worker-pool RPC (docs/ISOLATION.md §3) --------------------------------
+//
+// Pool mode replaces the one-shot result pipe with a persistent
+// request/response conversation under its own magic. Both directions use
+// the identical `magic frame` shape: requests carry the dispatch tuple the
+// forked loop needs to run one attempt, responses are byte-for-byte the
+// DYSBOX01 stream under the RPC magic.
+
+/// RPC-stream magic: "DYSBRPC1" (bump the digit on protocol changes).
+inline constexpr std::array<std::uint8_t, 8> kPoolRpcMagic = {
+    'D', 'Y', 'S', 'B', 'R', 'P', 'C', '1'};
+
+/// One dispatched attempt: everything the pooled child needs to run the
+/// app body exactly as the fork-per-app child would.
+struct PoolRequest {
+  std::uint64_t app_index = 0;  // global corpus index into jobs
+  std::uint32_t attempt = 0;    // retry ordinal (salts fault sessions)
+  std::uint64_t seed = 0;       // the app's corpus seed (child validates)
+  std::uint32_t worker = 0;     // supervisor thread ordinal (trace context)
+  bool crash_child = false;     // injected sandbox.crash: abort on receipt
+};
+
+/// Encode one dispatch as a complete framed request message.
+[[nodiscard]] support::Bytes encode_pool_request(const PoolRequest& request);
+
+/// Decode a framed request message. Fails (never throws) on a bad magic,
+/// torn frame or malformed payload — the serve loop exits loudly on any
+/// failure (a desynchronized stream cannot be resynchronized).
+[[nodiscard]] support::Result<PoolRequest> decode_pool_request(
+    std::span<const std::uint8_t> data);
+
+/// Encode one finished attempt as a framed response message.
+[[nodiscard]] support::Bytes encode_pool_response(std::size_t app_index,
+                                                  const AppOutcome& outcome);
+
+/// Decode a framed response message; same failure contract (and the same
+/// quarantine-on-failure caller behavior) as decode_sandbox_result.
+[[nodiscard]] support::Result<DecodedOutcome> decode_pool_response(
+    std::span<const std::uint8_t> data);
+
 }  // namespace dydroid::driver

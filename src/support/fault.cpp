@@ -30,6 +30,9 @@ constexpr std::array<SiteName, kFaultSiteCount> kSiteNames = {{
     {FaultSite::kSandboxSpawn, "sandbox.spawn"},
     {FaultSite::kSandboxPipe, "sandbox.pipe"},
     {FaultSite::kSandboxCrash, "sandbox.crash"},
+    {FaultSite::kPoolSpawn, "sandbox.pool.spawn"},
+    {FaultSite::kPoolRpc, "sandbox.pool.rpc"},
+    {FaultSite::kPoolRecycle, "sandbox.pool.recycle"},
 }};
 
 /// splitmix64-style avalanche; the decision function's mixing core.

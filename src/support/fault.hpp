@@ -63,9 +63,16 @@ enum class FaultSite : std::uint8_t {
   kSandboxSpawn,     // CorpusRunner sandbox — fork fails, app quarantined
   kSandboxPipe,      // sandbox result pipe — torn frame, recover + quarantine
   kSandboxCrash,     // sandbox child — deterministic abort (signal death)
+  // Worker-pool sites (docs/ISOLATION.md §pool). All three fire in the
+  // supervisor's per-attempt sandbox session; spawn/rpc fail the attempt
+  // (quarantine), recycle forces a worker restart without touching the
+  // outcome — so recycling machinery is testable under the fault harness.
+  kPoolSpawn,        // pool worker (re)spawn fails, app quarantined
+  kPoolRpc,          // pool response treated as torn, recover + quarantine
+  kPoolRecycle,      // force-recycle the worker after a clean response
 };
 
-inline constexpr std::size_t kFaultSiteCount = 15;
+inline constexpr std::size_t kFaultSiteCount = 18;
 
 /// All sites, in enum order (the injection-site catalog).
 const std::array<FaultSite, kFaultSiteCount>& all_fault_sites();

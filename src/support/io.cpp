@@ -67,6 +67,18 @@ bool read_to_eof(int fd, Bytes& out) {
   }
 }
 
+ssize_t read_exact(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n =
+        retry_eintr([&] { return ::read(fd, data + got, size - got); });
+    if (n < 0) return got == 0 ? -1 : static_cast<ssize_t>(got);
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
 Status fsync_parent_dir(const std::string& path) {
   std::filesystem::path parent = std::filesystem::path(path).parent_path();
   if (parent.empty()) parent = ".";

@@ -12,6 +12,8 @@
 // power loss even though both files were individually synced.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cerrno>
 #include <cstdint>
 #include <string>
@@ -45,6 +47,11 @@ bool writev_fully(int fd, const std::uint8_t* header, std::size_t header_size,
 /// read(2) until EOF, appending to `out`. Retries on EINTR; returns false
 /// on a read error (partial data already appended stays in `out`).
 bool read_to_eof(int fd, Bytes& out);
+
+/// read(2) exactly `size` bytes (blocking), retrying on EINTR and short
+/// reads. Returns the byte count actually read: `size` on success, less on
+/// EOF, -1 on a read error. A clean EOF *between* messages reads as 0.
+ssize_t read_exact(int fd, std::uint8_t* data, std::size_t size);
 
 /// fsync(2) the parent directory of `path`, making a rename/truncate/create
 /// in that directory durable. Increments the dir_fsyncs() counter (test

@@ -24,22 +24,22 @@ namespace dydroid::support {
 
 namespace {
 
+[[noreturn]] void oom_exit() { ::_exit(kOomExitCode); }
+
+}  // namespace
+
 // The supervisor forks from worker threads, so a sibling thread can hold
 // the log sink mutex at fork time; the atfork handlers take it across the
 // fork so both sides resume with a consistent, unlocked sink. Registered
 // once, lazily, on the first spawn.
-void install_fork_handlers() {
+void subprocess_install_fork_handlers() {
   static std::once_flag once;
   std::call_once(once, [] {
     ::pthread_atfork(&log_fork_lock, &log_fork_unlock, &log_fork_unlock);
   });
 }
 
-[[noreturn]] void oom_exit() { ::_exit(kOomExitCode); }
-
-/// Child-side setup between fork and body. Only async-signal-safe calls
-/// plus setrlimit/set_new_handler; the child is single-threaded here.
-void child_setup(const SubprocessLimits& limits) {
+void subprocess_child_setup(const SubprocessLimits& limits) {
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
   rlimit core{0, 0};
@@ -55,8 +55,6 @@ void child_setup(const SubprocessLimits& limits) {
   }
   std::set_new_handler(&oom_exit);
 }
-
-}  // namespace
 
 bool address_space_limit_supported() {
   // ASan reserves terabytes of shadow address space and TSan's runtime
@@ -79,7 +77,7 @@ bool address_space_limit_supported() {
 
 Result<Subprocess> Subprocess::spawn(const std::function<int(int)>& body,
                                      const SubprocessLimits& limits) {
-  install_fork_handlers();
+  subprocess_install_fork_handlers();
   int fds[2] = {-1, -1};
   if (::pipe(fds) != 0) {
     return Result<Subprocess>::failure(std::string("sandbox: pipe failed: ") +
@@ -98,7 +96,7 @@ Result<Subprocess> Subprocess::spawn(const std::function<int(int)>& body,
     // goes out through _exit so no inherited destructor or stdio flush
     // runs in the forked image.
     ::close(fds[0]);
-    child_setup(limits);
+    subprocess_child_setup(limits);
     int code = kChildExceptionExitCode;
     try {
       code = body(fds[1]);

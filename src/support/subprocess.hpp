@@ -69,6 +69,16 @@ struct SubprocessLimits {
 /// True when this build can enforce RLIMIT_AS (false under ASan/TSan).
 [[nodiscard]] bool address_space_limit_supported();
 
+/// Register the fork-safety atfork handlers (log sink mutex) once. Every
+/// fork-based facility (Subprocess, PoolWorker) calls this before fork(2).
+void subprocess_install_fork_handlers();
+
+/// Child-side setup between fork and body: reset SIGINT/SIGTERM, zero
+/// RLIMIT_CORE, apply the CPU/address-space limits, route allocation
+/// failure to _exit(kOomExitCode). Only async-signal-safe calls plus
+/// setrlimit/set_new_handler; the child must be single-threaded.
+void subprocess_child_setup(const SubprocessLimits& limits);
+
 /// Raw supervision facts for one reaped child.
 struct SubprocessResult {
   /// WIFEXITED: the child left via _exit; exit_code holds the status.

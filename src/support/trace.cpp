@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -140,10 +141,54 @@ void record_histogram(HistogramSlot& slot, std::uint64_t us) {
   }
 }
 
+// ---- span-slot cache -------------------------------------------------------
+
+/// Span categories and names are string literals at fixed addresses, so a
+/// finished span can skip the "<cat>.<name>" join and the registry's linear
+/// scan almost always: a small thread-local direct-mapped table keyed on the
+/// (cat, name) pointer identity remembers each span's histogram slot. Slots
+/// live for the process lifetime and metrics_reset() only zeroes their
+/// values, so a cached pointer can never dangle. Keys compare data pointer
+/// AND length — linkers overlap literal tails, so a bare pointer match
+/// could alias two different names. This cache is span-only: count() and
+/// observe_us() may be handed dynamically built names whose addresses are
+/// reused, and must keep scanning by content.
+struct SpanSlotEntry {
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  std::size_t cat_size = 0;
+  std::size_t name_size = 0;
+  HistogramSlot* slot = nullptr;
+};
+
+inline constexpr std::size_t kSpanSlotCacheSize = 64;  // power of two
+
+thread_local std::array<SpanSlotEntry, kSpanSlotCacheSize> tl_span_slots;
+
+HistogramSlot* span_slot(std::string_view cat, std::string_view name);
+
 /// Record a finished span's duration into the "<cat>.<name>" histogram.
-/// The joined name is built in a small stack buffer — no allocation.
 void observe_span(std::string_view cat, std::string_view name,
                   std::uint64_t us) {
+  if (HistogramSlot* slot = span_slot(cat, name)) {
+    record_histogram(*slot, us);
+  }
+}
+
+HistogramSlot* span_slot(std::string_view cat, std::string_view name) {
+  const auto mix = [](const char* p) {
+    return static_cast<std::size_t>(
+        (reinterpret_cast<std::uintptr_t>(p) * 0x9E3779B97F4A7C15ull) >> 32);
+  };
+  SpanSlotEntry& entry =
+      tl_span_slots[(mix(cat.data()) ^ (mix(name.data()) << 1)) &
+                    (kSpanSlotCacheSize - 1)];
+  if (entry.cat == cat.data() && entry.cat_size == cat.size() &&
+      entry.name == name.data() && entry.name_size == name.size()) {
+    return entry.slot;
+  }
+  // Miss: build the joined name in a small stack buffer (no allocation)
+  // and resolve it by content, then remember the slot for this identity.
   char joined[96];
   const std::size_t cat_n = std::min(cat.size(), sizeof(joined) / 2);
   const std::size_t name_n =
@@ -151,7 +196,12 @@ void observe_span(std::string_view cat, std::string_view name,
   std::copy_n(cat.data(), cat_n, joined);
   joined[cat_n] = '.';
   std::copy_n(name.data(), name_n, joined + cat_n + 1);
-  observe_us(std::string_view(joined, cat_n + 1 + name_n), us);
+  HistogramSlot* slot = metrics_state().histograms.find_or_create(
+      std::string_view(joined, cat_n + 1 + name_n));
+  if (slot != nullptr) {
+    entry = {cat.data(), name.data(), cat.size(), name.size(), slot};
+  }
+  return slot;
 }
 
 void append_json_escaped(std::string& out, std::string_view s) {

@@ -1,0 +1,135 @@
+// Persistent pre-forked sandbox workers (docs/ISOLATION.md §3).
+//
+// Fork-per-app isolation buys crash containment at a brutal price: every
+// app pays fork(2) + pipe setup + waitpid(2), which BENCH_corpus.json
+// measured at ~13x the analysis itself. A PoolWorker amortizes that cost:
+// the child is forked ONCE, applies the same rlimits/new-handler contract
+// as support::Subprocess, then loops over a CRC-framed request/response
+// pipe protocol — the parent ships one framed request per app attempt and
+// blocks (deadline-bounded) for one framed response. One fork now serves
+// thousands of apps, while every per-app failure mode is preserved:
+//
+//   * deadline overrun  → SIGKILL + reap, status kTimeout
+//   * child signal/exit → EOF mid-message + reap, status kWorkerExit with
+//                         the raw exit facts (the driver classifies
+//                         crash/OOM exactly as in fork-per-app mode)
+//   * clean response    → status kOk with the complete framed message
+//
+// After kTimeout or kWorkerExit the worker is dead and reaped; the caller
+// respawns a fresh one (the driver re-dispatches the in-flight app).
+//
+// Framing: every message is `magic[8] | len:u32 | crc:u32 | payload[len]`
+// — the journal frame layer (support/journal.hpp) under a caller-chosen
+// magic. The parent locates message boundaries from the length header;
+// CRC validation happens in the caller's decoder.
+//
+// fd hygiene across forks: a pool runs one worker per driver thread, and a
+// child forked later would inherit the parent-side pipe ends of every
+// earlier worker — keeping a request pipe writable after the parent closes
+// it, so EOF-based death detection and graceful shutdown would hang. Every
+// parent-side fd is tracked in a process-wide registry (its mutex is held
+// across fork) and the child closes all of them before entering the loop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/bytes.hpp"
+#include "support/error.hpp"
+#include "support/subprocess.hpp"
+
+namespace dydroid::support {
+
+/// Bytes preceding the payload of a framed pool message: the 8-byte magic
+/// plus the journal frame header (len + crc).
+inline constexpr std::size_t kPoolMessageHeader = 16;
+
+/// Upper bound on a single framed message's payload; a length header past
+/// it is treated as stream desync, not an allocation request.
+inline constexpr std::uint32_t kPoolMaxMessageBytes = 256u * 1024u * 1024u;
+
+/// Outcome of one PoolWorker::call round trip.
+struct PoolRpcResult {
+  enum class Status : std::uint8_t {
+    kOk,          // message holds one complete framed response
+    kTimeout,     // deadline fired; worker SIGKILLed and reaped
+    kWorkerExit,  // worker died before a complete response; exit facts set
+    kError,       // protocol desync or local I/O error; worker killed
+  };
+  Status status = Status::kError;
+  /// The complete message (magic + frame) on kOk.
+  Bytes message;
+  /// Reap facts, valid for kTimeout/kWorkerExit/kError (mirrors
+  /// SubprocessResult): WIFEXITED → exited/exit_code, else term_signal.
+  bool exited = false;
+  int exit_code = 0;
+  int term_signal = 0;
+  std::string error;
+};
+
+/// One persistent sandboxed child. Confine to a single driver thread.
+class PoolWorker {
+ public:
+  /// Child-side loop: read framed requests from request_fd, write framed
+  /// responses to response_fd, return the exit code (EOF on request_fd is
+  /// the graceful-shutdown signal — return 0).
+  using ServeLoop = std::function<int(int request_fd, int response_fd)>;
+
+  /// Fork a persistent child running `serve` under `limits`. The rlimits
+  /// apply to the worker's whole lifetime (RLIMIT_CPU accumulates across
+  /// the apps it serves — pair tight CPU limits with recycling). The
+  /// wall_deadline_ms in `limits` is the default per-call deadline.
+  static Result<PoolWorker> spawn(const ServeLoop& serve,
+                                  const SubprocessLimits& limits);
+
+  PoolWorker(PoolWorker&& other) noexcept;
+  PoolWorker& operator=(PoolWorker&& other) noexcept;
+  PoolWorker(const PoolWorker&) = delete;
+  PoolWorker& operator=(const PoolWorker&) = delete;
+  /// A live worker is SIGKILLed and reaped — destruction never leaks
+  /// zombies. Prefer shutdown() for a graceful EOF-driven exit.
+  ~PoolWorker();
+
+  /// One framed round trip: ship `request` (a complete magic+frame
+  /// message), then read exactly one framed response whose magic must be
+  /// `magic`, killing the worker past `deadline_ms` (0 = the spawn
+  /// default; both 0 = wait forever). On anything but kOk the worker is
+  /// dead and reaped — alive() turns false and the caller respawns.
+  [[nodiscard]] PoolRpcResult call(const Bytes& request,
+                                   const std::array<std::uint8_t, 8>& magic,
+                                   double deadline_ms = 0.0);
+
+  /// Graceful shutdown: close the request pipe (the loop sees EOF and
+  /// exits), wait briefly, escalate to SIGKILL if the child lingers.
+  void shutdown();
+
+  /// SIGKILL + reap immediately (recycling a wedged or bloated worker).
+  void kill();
+
+  [[nodiscard]] bool alive() const { return pid_ > 0; }
+  [[nodiscard]] int pid() const { return pid_; }
+  /// Completed (kOk) calls served by this worker.
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+  /// Resident set size from /proc/<pid>/statm; 0 when unavailable.
+  [[nodiscard]] std::uint64_t rss_bytes() const;
+
+ private:
+  PoolWorker(int pid, int request_fd, int response_fd, double deadline_ms)
+      : pid_(pid),
+        request_fd_(request_fd),
+        response_fd_(response_fd),
+        deadline_ms_(deadline_ms) {}
+
+  void close_pipes();
+  void reap(PoolRpcResult* result);
+
+  int pid_ = -1;
+  int request_fd_ = -1;
+  int response_fd_ = -1;
+  double deadline_ms_ = 0.0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace dydroid::support

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -77,6 +78,48 @@ TEST(CorpusRunner, ParallelReportsIdenticalToSerial) {
     EXPECT_EQ(core::report_to_json(pipeline.analyze(request)),
               serial_json[i])
         << "app index " << i;
+  }
+}
+
+TEST(CorpusRunner, SingleJobRunsInlineOnCallerThread) {
+  // jobs=1 must not pay a thread spawn: the worker loop runs on the
+  // caller's own thread (the serial fast path), and its reports are
+  // byte-identical to a defaulted config that resolves to one worker.
+  // Guards the parallel.speedup floor — a jobs=1 run that secretly
+  // spawned a thread once benchmarked *slower* than serial.
+  const auto corpus = small_corpus();
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  auto jobs = jobs_from_corpus(corpus);
+  std::mutex mutex;
+  std::vector<std::thread::id> analysis_threads;
+  for (auto& job : jobs) {
+    job.scenario = [inner = std::move(job.scenario), &mutex,
+                    &analysis_threads](os::Device& device) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        analysis_threads.push_back(std::this_thread::get_id());
+      }
+      inner(device);
+    };
+  }
+
+  RunnerConfig config;
+  config.jobs = 1;
+  const auto inline_run = CorpusRunner(pipeline, config).run(jobs);
+  EXPECT_EQ(inline_run.threads, 1u);
+  // Static-stop apps never reach the scenario, so expect "most", not all.
+  ASSERT_GT(analysis_threads.size(), corpus.apps.size() / 2);
+  for (const auto& id : analysis_threads) {
+    EXPECT_EQ(id, std::this_thread::get_id())
+        << "jobs=1 ran an app off the caller thread";
+  }
+
+  const auto baseline = CorpusRunner(pipeline, config).run(corpus);
+  const auto inline_json = report_jsons(inline_run);
+  const auto baseline_json = report_jsons(baseline);
+  ASSERT_EQ(inline_json.size(), baseline_json.size());
+  for (std::size_t i = 0; i < inline_json.size(); ++i) {
+    EXPECT_EQ(inline_json[i], baseline_json[i]) << "app index " << i;
   }
 }
 

@@ -307,7 +307,7 @@ TEST(Isolation, IsolateModeMatchesThreadModeAtAnyWorkerCount) {
   for (const std::size_t jobs : {1u, 2u, 8u}) {
     RunnerConfig config;
     config.jobs = jobs;
-    config.isolate = true;
+    config.isolation_mode = IsolationMode::kForkPerApp;
     const auto isolated = CorpusRunner(pipeline, config).run(corpus);
     ASSERT_EQ(isolated.outcomes.size(), corpus.apps.size());
     const auto isolated_json = report_jsons(isolated);
@@ -339,7 +339,7 @@ TEST(Isolation, IsolateModeMatchesThreadModeUnderFaultInjection) {
 
   RunnerConfig config;
   config.jobs = 2;
-  config.isolate = true;
+  config.isolation_mode = IsolationMode::kForkPerApp;
   const auto isolated = CorpusRunner(pipeline, config).run(corpus);
 
   // The child runs the identical per-app fault session, so injected
@@ -372,7 +372,7 @@ TEST(Isolation, InjectedChildCrashClassifiesWithFatalSignal) {
 
   RunnerConfig config;
   config.jobs = 2;
-  config.isolate = true;
+  config.isolation_mode = IsolationMode::kForkPerApp;
   const auto result = CorpusRunner(pipeline, config).run(fixture.jobs);
 
   ASSERT_EQ(result.outcomes.size(), 3u);
@@ -405,7 +405,7 @@ TEST(Isolation, MemoryExplodingAppIsKilledOomAndQuarantined) {
   const core::DyDroid pipeline{core::PipelineOptions{}};
   RunnerConfig config;
   config.jobs = 1;
-  config.isolate = true;
+  config.isolation_mode = IsolationMode::kForkPerApp;
   config.sandbox_mem_limit_bytes = 3ull << 30;
   const auto result = CorpusRunner(pipeline, config).run(fixture.jobs);
 
@@ -428,7 +428,7 @@ TEST(Isolation, HangingAppIsDeadlineKilledWithinBudget) {
   const core::DyDroid pipeline{core::PipelineOptions{}};
   RunnerConfig config;
   config.jobs = 1;
-  config.isolate = true;
+  config.isolation_mode = IsolationMode::kForkPerApp;
   config.sandbox_deadline_ms = 300.0;
   const auto result = CorpusRunner(pipeline, config).run(fixture.jobs);
 
@@ -488,7 +488,7 @@ TEST(Isolation, ExternallyKilledChildRespawnsTransparently) {
 
   RunnerConfig config;
   config.jobs = 1;
-  config.isolate = true;
+  config.isolation_mode = IsolationMode::kForkPerApp;
   const auto result = CorpusRunner(pipeline, config).run(fixture.jobs);
 
   EXPECT_TRUE(std::filesystem::exists(marker.path()));  // the kill happened
@@ -510,7 +510,7 @@ TEST(Isolation, RepeatedExternalSigkillEscalatesToOomClassification) {
   const core::DyDroid pipeline{core::PipelineOptions{}};
   RunnerConfig config;
   config.jobs = 1;
-  config.isolate = true;
+  config.isolation_mode = IsolationMode::kForkPerApp;
   const auto result = CorpusRunner(pipeline, config).run(fixture.jobs);
 
   const auto& outcome = result.outcomes[0];
@@ -539,7 +539,7 @@ TEST(Isolation, FatedOutcomesJournalAndReplayIdentically) {
 
   RunnerConfig config;
   config.jobs = 2;
-  config.isolate = true;
+  config.isolation_mode = IsolationMode::kForkPerApp;
   config.journal_path = journal.path();
   const auto live = CorpusRunner(pipeline, config).run(corpus);
   // The probabilistic injection must actually have fated some apps — and
@@ -571,7 +571,7 @@ TEST(Isolation, FatedOutcomesAreNeverCachedButCleanOnesAre) {
 
   RunnerConfig config;
   config.jobs = 1;
-  config.isolate = true;
+  config.isolation_mode = IsolationMode::kForkPerApp;
   config.cache_dir = cache.path();
 
   {

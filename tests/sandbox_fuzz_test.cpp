@@ -115,7 +115,7 @@ TEST(SandboxFuzz, PipeCorruptionNeverCorruptsTheRun) {
 
   RunnerConfig config;
   config.jobs = 2;
-  config.isolate = true;
+  config.isolation_mode = IsolationMode::kForkPerApp;
   const auto result = CorpusRunner(faulty, config).run(corpus);
 
   ASSERT_EQ(result.outcomes.size(), corpus.apps.size());

@@ -8,6 +8,7 @@
 //       than asserting an absolute nanosecond figure (CI machines vary).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -140,6 +141,87 @@ TEST(TraceOverhead, DisabledSpanCostIsBounded) {
   EXPECT_LT(per_span_ns, 50.0)
       << "disabled span cost " << per_span_ns << " ns (base loop "
       << base_ns / kIters << " ns/iter)";
+}
+
+TEST(TraceOverhead, EnabledSpanCostIsBounded) {
+  // With metrics on, a closing span resolves its histogram through the
+  // thread-local span-slot cache: one pointer-identity probe, no string
+  // join, no registry scan. Two clock reads + a few relaxed atomics is
+  // ~100 ns; the 2 µs bound only exists to catch the cache regressing
+  // back to a per-close linear scan over a full registry.
+  support::set_trace_enabled(false);
+  support::set_metrics_enabled(true);
+  support::metrics_reset();
+
+  using Clock = std::chrono::steady_clock;
+  constexpr int kIters = 200'000;
+  volatile std::uint64_t sink = 0;
+  const auto base_start = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    sink = sink + 1;
+  }
+  const auto base_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Clock::now() - base_start)
+                           .count();
+  const auto span_start = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    TRACE_SPAN("test", "enabled");
+    sink = sink + 1;
+  }
+  const auto span_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           Clock::now() - span_start)
+                           .count();
+  support::set_metrics_enabled(false);
+
+  const auto metrics = support::metrics_snapshot();
+  const auto* hist = metrics.histogram("test.enabled");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->observations, static_cast<std::uint64_t>(kIters));
+
+  const double per_span_ns =
+      static_cast<double>(span_ns - base_ns) / static_cast<double>(kIters);
+  EXPECT_LT(per_span_ns, 2000.0)
+      << "enabled span cost " << per_span_ns << " ns";
+  support::metrics_reset();
+}
+
+TEST(TraceOverhead, MetricsCorpusOverheadWithinBudget) {
+  // The whole-corpus cost contract (docs/OBSERVABILITY.md): running with
+  // metrics enabled must stay within low single digits of the
+  // uninstrumented wall time. Three interleaved A/B pairs, compared at
+  // their minima — a lone pair on a shared 1-vCPU runner once measured a
+  // 39% "regression" that was pure scheduler noise. The bound is 15%, a
+  // few times the expected overhead but far below a real hot-path
+  // regression (the pre-cache slot scan showed up as >30%).
+  appgen::CorpusConfig config;
+  config.scale = 0.01;
+  const auto corpus = appgen::generate_corpus(config);
+  const core::DyDroid pipeline{core::PipelineOptions{}};
+  RunnerConfig runner_config;
+  runner_config.jobs = 1;
+  const CorpusRunner runner(pipeline, runner_config);
+
+  support::set_trace_enabled(false);
+  support::set_metrics_enabled(false);
+  double plain_ms = 0.0;
+  double metered_ms = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto plain = runner.run(corpus);
+    support::set_metrics_enabled(true);
+    support::metrics_reset();
+    const auto metered = runner.run(corpus);
+    support::set_metrics_enabled(false);
+    plain_ms = rep == 0 ? plain.wall_ms : std::min(plain_ms, plain.wall_ms);
+    metered_ms =
+        rep == 0 ? metered.wall_ms : std::min(metered_ms, metered.wall_ms);
+  }
+  support::metrics_reset();
+
+  ASSERT_GT(plain_ms, 0.0);
+  const double overhead_pct = 100.0 * (metered_ms - plain_ms) / plain_ms;
+  EXPECT_LT(overhead_pct, 15.0)
+      << "metrics overhead " << overhead_pct << "% (plain " << plain_ms
+      << " ms, metered " << metered_ms << " ms)";
 }
 
 }  // namespace

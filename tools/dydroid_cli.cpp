@@ -39,7 +39,10 @@
 //       table and the top-K slowest apps (docs/OBSERVABILITY.md).
 //       --isolate forks one sandboxed child per analysis attempt
 //       (docs/ISOLATION.md): crashes, OOMs and hangs are classified,
-//       quarantined data points instead of driver outages; --mem-limit
+//       quarantined data points instead of driver outages;
+//       --isolate=pool serves apps from one persistent forked worker per
+//       thread instead (same classification, fork cost amortized) with
+//       --recycle-apps K retiring workers after K apps; --mem-limit
 //       caps child address space and implies --isolate.
 //
 //   dydroid merge <out.journal> <shard.journal>...
@@ -123,7 +126,12 @@ Args parse(int argc, char** argv, int first,
       i += 2;
     } else if (a.rfind("--", 0) == 0) {
       const auto key = a.substr(2);
-      if (value_opts.count(key) != 0 && i + 1 < argc) {
+      // --key=value binds inline (the only spelling for optional-value
+      // flags like --isolate[=pool]); --key value consumes the next token
+      // for the flags registered in value_opts.
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        args.options[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (value_opts.count(key) != 0 && i + 1 < argc) {
         args.options[key] = argv[++i];
       } else {
         args.options[key] = "";
@@ -348,16 +356,36 @@ std::string configure_cache(const char* cmd, const Args& args,
 
 // --- process-isolation plumbing (docs/ISOLATION.md) -------------------------
 
-/// Fill the sandbox fields of a RunnerConfig from --isolate / --mem-limit.
-/// Returns true when isolation is on. --mem-limit implies --isolate (a
-/// memory cap is only enforceable on a forked child).
+/// Fill the sandbox fields of a RunnerConfig from --isolate[=fork|pool],
+/// --mem-limit and --recycle-apps. Returns true when isolation is on.
+/// --mem-limit implies --isolate (a memory cap is only enforceable on a
+/// forked child); a bare --isolate means fork-per-app.
 bool configure_isolation(const char* cmd, const Args& args,
                          driver::RunnerConfig& config) {
-  config.isolate = args.flag("isolate") || args.flag("mem-limit");
-  if (!config.isolate) return false;
+  if (args.flag("isolate")) {
+    const std::string mode = args.value("isolate", "");
+    if (mode.empty() || mode == "fork") {
+      config.isolation_mode = driver::IsolationMode::kForkPerApp;
+    } else if (mode == "pool") {
+      config.isolation_mode = driver::IsolationMode::kPool;
+    } else {
+      std::fprintf(stderr,
+                   "%s: invalid --isolate mode '%s' (expected fork or pool)\n",
+                   cmd, mode.c_str());
+      std::exit(2);
+    }
+  }
   if (args.flag("mem-limit")) {
+    if (!config.isolated()) {
+      config.isolation_mode = driver::IsolationMode::kForkPerApp;
+    }
     config.sandbox_mem_limit_bytes =
         parse_u64_flag(cmd, "mem-limit", args.value("mem-limit", "0"));
+  }
+  if (!config.isolated()) return false;
+  if (args.flag("recycle-apps")) {
+    config.pool_recycle_apps = static_cast<std::uint32_t>(parse_u64_flag(
+        cmd, "recycle-apps", args.value("recycle-apps", "0")));
   }
   return true;
 }
@@ -662,8 +690,11 @@ int cmd_survey(const Args& args) {
   }
   if (isolate) {
     std::printf(
-        "  sandbox: fork-per-app, %zu crashed, %zu oom-killed, "
+        "  sandbox: %s, %zu crashed, %zu oom-killed, "
         "%zu deadline-killed\n",
+        runner_config.isolation_mode == driver::IsolationMode::kPool
+            ? "worker-pool"
+            : "fork-per-app",
         stats.sandbox_crashed, stats.killed_oom, stats.killed_timeout);
   }
   if (!shard_spec.empty()) {
@@ -786,12 +817,13 @@ void usage() {
       "  analyze <app.sapk> [--seed N] [--host URL FILE]...\n"
       "      [--companion FILE] [--faults PLAN]\n"
       "      [--journal PATH | --resume PATH] [--cache DIR]\n"
-      "      [--isolate] [--mem-limit BYTES]\n"
+      "      [--isolate[=fork|pool]] [--mem-limit BYTES]\n"
       "  disasm <app.sapk>\n"
       "  pack <in.sapk> <out.sapk> [--trap]\n"
       "  unpack <packed.sapk> <out.sapk> [--seed N]\n"
       "  survey [--scale S] [--seed N] [--jobs J] [--faults PLAN]\n"
-      "      [--budget MS] [--retry] [--isolate] [--mem-limit BYTES]\n"
+      "      [--budget MS] [--retry] [--isolate[=fork|pool]]\n"
+      "      [--mem-limit BYTES] [--recycle-apps K]\n"
       "      [--journal PATH | --resume PATH] [--fsync] [--shard I/N]\n"
       "      [--cache DIR] [--cache-entries N] [--cache-bytes N]\n"
       "      [--trace OUT.json] [--metrics] [--top K]\n"
@@ -815,8 +847,11 @@ void usage() {
       "--cache-bytes bound the store (LRU).\n"
       "Isolation (docs/ISOLATION.md): --isolate forks one sandboxed child\n"
       "per analysis attempt (crashes, hangs and OOMs are classified and\n"
-      "quarantined, never fatal); --mem-limit caps child RLIMIT_AS and\n"
-      "implies --isolate.\n");
+      "quarantined, never fatal); --isolate=pool serves apps from one\n"
+      "persistent forked worker per thread instead (same classification,\n"
+      "the fork cost amortized away); --recycle-apps K retires a pooled\n"
+      "worker after K apps; --mem-limit caps child RLIMIT_AS and implies\n"
+      "--isolate.\n");
 }
 
 }  // namespace
@@ -830,7 +865,8 @@ int main(int argc, char** argv) {
   const std::set<std::string> value_opts = {
       "pkg", "category", "seed", "malware", "vuln", "scale", "companion",
       "jobs", "faults", "budget", "fraction", "journal", "resume", "shard",
-      "trace", "top", "cache", "cache-entries", "cache-bytes", "mem-limit"};
+      "trace", "top", "cache", "cache-entries", "cache-bytes", "mem-limit",
+      "recycle-apps"};
   const auto args = parse(argc, argv, 2, value_opts);
   try {
     if (cmd == "gen") return cmd_gen(args);

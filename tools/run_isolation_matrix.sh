@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Isolation matrix (docs/ISOLATION.md): prove the fork-per-app sandbox is
-# golden against thread mode from the real CLI, then prove it survives
-# hostile signals.
+# Isolation matrix (docs/ISOLATION.md): prove both isolation flavors —
+# fork-per-app and the persistent worker pool — are golden against thread
+# mode from the real CLI, then prove they survive hostile signals.
 #
 #   tools/run_isolation_matrix.sh [scale] [seed] [kill_rounds]
 #
@@ -10,12 +10,18 @@
 #   2. `--isolate` surveys at 1/2/8 workers — summaries must be
 #      byte-identical to the golden one (timing and sandbox-bookkeeping
 #      lines stripped; clean children reproduce thread-mode reports).
-#   3. Child-kill round: an `--isolate` survey while random live sandbox
-#      children are `kill -9`ed mid-run. The supervisor transparently
-#      respawns externally-killed children, so the summary must still
+#   3. `--isolate=pool` surveys at 1/2/8 workers, plus a round with an
+#      aggressive `--recycle-apps` budget — all byte-identical to golden
+#      (recycling happens between attempts, so it may never show up in a
+#      report).
+#   4. Child-kill rounds: `--isolate` and `--isolate=pool` surveys while
+#      random live sandbox children are `kill -9`ed mid-run. Fork mode
+#      respawns the killed attempt's child; pool mode re-dispatches the
+#      in-flight app on a fresh worker. Either way the summary must still
 #      match golden.
-#   4. Kill/resume round: a journaled `--isolate` survey SIGKILLed at a
-#      random point, resumed with `--resume`, compared to golden.
+#   5. Kill/resume rounds: journaled `--isolate` / `--isolate=pool`
+#      surveys SIGKILLed at a random point, resumed with `--resume`,
+#      compared to golden.
 #
 # Defaults: --scale 0.01, --seed 20161101, 5 kill rounds. The dydroid
 # binary is taken from $DYDROID_CLI or ./build/tools/dydroid. Exit 1 on
@@ -62,66 +68,116 @@ for jobs in 1 2 8; do
   echo "jobs=$jobs: byte-identical to thread mode"
 done
 
-echo "==== child-kill rounds: kill -9 random live sandbox children ===="
-for round in $(seq 1 "$kill_rounds"); do
-  out="$workdir/childkill-$round.txt"
-  "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 --isolate \
-    > "$out" 2>/dev/null &
-  survey_pid=$!
-  kills=0
-  # Children are short-lived (one per app attempt), so shoot as fast as
-  # the loop allows; pkill observes and kills in one process, the best
-  # odds of landing inside a child's window. On a fast machine with a
-  # small corpus every shot may still miss — the deterministic respawn
-  # coverage lives in tests/isolation_test.cpp; this round is the live
-  # chaos version. Landed kills are transparently respawned, so the
-  # summary must stay golden regardless.
-  while kill -0 "$survey_pid" 2>/dev/null; do
-    if pkill -9 -P "$survey_pid" 2>/dev/null; then
-      kills=$((kills + 1))
+echo "==== golden equivalence: --isolate=pool at 1/2/8 workers ===="
+for jobs in 1 2 8; do
+  out="$workdir/pool-j$jobs.txt"
+  "$cli" survey --scale "$scale" --seed "$seed" --jobs "$jobs" \
+    --isolate=pool > "$out"
+  strip_timing "$out" > "$out.stable"
+  if ! diff -u "$workdir/golden.stable" "$out.stable"; then
+    echo "pool summary at jobs=$jobs DIFFERS from thread mode" >&2
+    exit 1
+  fi
+  echo "pool jobs=$jobs: byte-identical to thread mode"
+done
+
+# Recycling tears a worker down between attempts; an aggressive budget
+# forces many mid-run respawns that must never reach a report.
+out="$workdir/pool-recycle.txt"
+"$cli" survey --scale "$scale" --seed "$seed" --jobs 2 --isolate=pool \
+  --recycle-apps 5 > "$out"
+strip_timing "$out" > "$out.stable"
+if ! diff -u "$workdir/golden.stable" "$out.stable"; then
+  echo "pool summary with --recycle-apps 5 DIFFERS from thread mode" >&2
+  exit 1
+fi
+echo "pool --recycle-apps 5: byte-identical to thread mode"
+
+# $1 = mode label for logs, $2 = seconds to sleep between shots ("0" for
+# none), $3... = extra CLI flags for the mode.
+childkill_rounds() {
+  local mode="$1" throttle="$2"; shift 2
+  for round in $(seq 1 "$kill_rounds"); do
+    local out="$workdir/childkill-$mode-$round.txt"
+    "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 "$@" \
+      > "$out" 2>/dev/null &
+    local survey_pid=$!
+    local kills=0
+    # Fork children are short-lived (one per app attempt), so shoot as
+    # fast as the loop allows; pkill observes and kills in one process,
+    # the best odds of landing inside a child's window. Pool workers are
+    # the opposite — alive the whole run — so an unthrottled loop would
+    # land a kill every few milliseconds and could legitimately escalate
+    # one app past the bounded external-kill respawns into a killed_oom
+    # outcome; the pool round spaces its shots instead. Deterministic
+    # respawn/re-dispatch coverage lives in tests/isolation_test.cpp and
+    # tests/worker_pool_test.cpp; these rounds are the live chaos version.
+    # Landed kills are transparently absorbed (fork: attempt respawned;
+    # pool: in-flight app re-dispatched on a fresh worker), so the summary
+    # must stay golden regardless.
+    while kill -0 "$survey_pid" 2>/dev/null; do
+      if pkill -9 -P "$survey_pid" 2>/dev/null; then
+        kills=$((kills + 1))
+      fi
+      if [[ "$throttle" != 0 ]]; then sleep "$throttle"; fi
+    done
+    wait "$survey_pid"
+    strip_timing "$out" > "$out.stable"
+    if ! diff -u "$workdir/golden.stable" "$out.stable"; then
+      echo "childkill($mode) round $round: summary DIFFERS after" \
+        "$kills child kills" >&2
+      exit 1
     fi
+    echo "childkill($mode) round $round: ok ($kills kills landed, absorbed)"
   done
-  wait "$survey_pid"
-  strip_timing "$out" > "$out.stable"
-  if ! diff -u "$workdir/golden.stable" "$out.stable"; then
-    echo "childkill round $round: summary DIFFERS after $kills child kills" >&2
-    exit 1
-  fi
-  echo "childkill round $round: ok ($kills child kills landed, respawned)"
-done
+}
 
-echo "==== kill/resume rounds: SIGKILL the journaled --isolate survey ===="
-for round in $(seq 1 "$kill_rounds"); do
-  journal="$workdir/resume-$round.jrnl"
-  out="$workdir/resume-$round.txt"
-  rm -f "$journal"
-  "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 --isolate \
-    --journal "$journal" > /dev/null 2>&1 &
-  survey_pid=$!
-  delay_ms=$((5 + RANDOM % 116))
-  sleep "$(printf '0.%03d' "$delay_ms")"
-  if kill -9 "$survey_pid" 2>/dev/null; then
-    verdict="killed after ${delay_ms}ms"
-  else
-    verdict="finished before the kill (${delay_ms}ms)"
-  fi
-  wait "$survey_pid" 2>/dev/null || true
+echo "==== child-kill rounds: kill -9 random live sandbox children ===="
+childkill_rounds fork 0 --isolate
+childkill_rounds pool 0.02 --isolate=pool
 
-  if [[ -s "$journal" ]]; then
-    "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 --isolate \
-      --resume "$journal" > "$out" 2>/dev/null
-  else
-    "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 --isolate \
-      > "$out" 2>/dev/null
-    verdict="$verdict, no journal yet"
-  fi
-  strip_timing "$out" > "$out.stable"
-  if ! diff -u "$workdir/golden.stable" "$out.stable"; then
-    echo "resume round $round: summary DIFFERS from golden ($verdict)" >&2
-    exit 1
-  fi
-  echo "resume round $round: ok ($verdict)"
-done
+# $1 = mode label for logs, $2... = extra CLI flags for the mode.
+resume_rounds() {
+  local mode="$1"; shift
+  for round in $(seq 1 "$kill_rounds"); do
+    local journal="$workdir/resume-$mode-$round.jrnl"
+    local out="$workdir/resume-$mode-$round.txt"
+    rm -f "$journal"
+    "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 "$@" \
+      --journal "$journal" > /dev/null 2>&1 &
+    local survey_pid=$!
+    local delay_ms=$((5 + RANDOM % 116))
+    sleep "$(printf '0.%03d' "$delay_ms")"
+    local verdict
+    if kill -9 "$survey_pid" 2>/dev/null; then
+      verdict="killed after ${delay_ms}ms"
+    else
+      verdict="finished before the kill (${delay_ms}ms)"
+    fi
+    wait "$survey_pid" 2>/dev/null || true
 
-echo "isolation matrix passed: golden at 1/2/8 workers," \
-  "$kill_rounds child-kill + $kill_rounds kill/resume rounds byte-identical"
+    if [[ -s "$journal" ]]; then
+      "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 "$@" \
+        --resume "$journal" > "$out" 2>/dev/null
+    else
+      "$cli" survey --scale "$scale" --seed "$seed" --jobs 2 "$@" \
+        > "$out" 2>/dev/null
+      verdict="$verdict, no journal yet"
+    fi
+    strip_timing "$out" > "$out.stable"
+    if ! diff -u "$workdir/golden.stable" "$out.stable"; then
+      echo "resume($mode) round $round: summary DIFFERS from golden" \
+        "($verdict)" >&2
+      exit 1
+    fi
+    echo "resume($mode) round $round: ok ($verdict)"
+  done
+}
+
+echo "==== kill/resume rounds: SIGKILL the journaled isolated survey ===="
+resume_rounds fork --isolate
+resume_rounds pool --isolate=pool
+
+echo "isolation matrix passed: fork + pool golden at 1/2/8 workers," \
+  "pool recycle round, $kill_rounds child-kill + $kill_rounds kill/resume" \
+  "rounds per mode byte-identical"
